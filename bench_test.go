@@ -1,0 +1,327 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (one per
+// table/figure-claim of the paper) plus micro-benchmarks of the substrates.
+// Run: go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/chainalg"
+	"repro/internal/csma"
+	"repro/internal/lattice"
+	"repro/internal/naive"
+	"repro/internal/paper"
+	"repro/internal/smalg"
+	"repro/internal/varset"
+	"repro/internal/wcoj"
+)
+
+// E1: Fig.1 skew instance — Chain Algorithm Õ(N^{3/2}) vs FD-blind
+// Generic-Join Ω(N²) (Example 5.8).
+func BenchmarkE1ChainVsWCOJ(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		q := paper.Fig1Skew(n)
+		b.Run("chain/N="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chainalg.RunBest(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("generic/N="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := wcoj.GenericJoin(q, []int{1, 2, 0, 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E2: degree-bounded triangle through the CLLP (Sec. 5.3).
+func BenchmarkE2DegreeBounds(b *testing.B) {
+	for _, d := range []int{2, 8} {
+		q := paper.DegreeTriangle(256, d)
+		b.Run("csma/d="+itoa(d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := csma.Run(q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E3: triangle AGM worst case (Theorem 2.1).
+func BenchmarkE3TriangleAGM(b *testing.B) {
+	for _, m := range []int{8, 16} {
+		q := paper.TriangleProduct(m)
+		b.Run("generic/m="+itoa(m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := wcoj.GenericJoin(q, wcoj.DefaultOrder(q)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E4: M3 mod-N instance — chain bound tight at N² (Example 5.12).
+func BenchmarkE4M3(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		q := paper.M3Instance(n)
+		b.Run("chain/N="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := chainalg.RunBest(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E5: Fig.4 — SMA within N^{4/3} beating every chain (Example 5.25).
+func BenchmarkE5SMvsChain(b *testing.B) {
+	q, _ := paper.Fig4Instance(64)
+	b.Run("sma", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := smalg.RunAuto(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chainalg.RunBest(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E6: Fig.9 — CSMA on the query with no SM proof (Example 5.31).
+func BenchmarkE6CSMA(b *testing.B) {
+	for _, n := range []int{16, 64} {
+		q, _ := paper.Fig9Instance(n)
+		b.Run("csma/N="+itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := csma.Run(q, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E7: Fig.5 — good-chain selection (Corollary 5.9).
+func BenchmarkE7GoodChain(b *testing.B) {
+	q := paper.Fig5Instance(32)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := chainalg.RunBest(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E8: closure bounds (Sec. 2).
+func BenchmarkE8Closure(b *testing.B) {
+	q := paper.CompositeKey(8, 1024)
+	for i := 0; i < b.N; i++ {
+		_ = bounds.AGMClosure(q)
+		_ = bounds.LLP(q)
+	}
+}
+
+// E9: full lattice classification of the Fig.9 query (Fig. 10 regions).
+func BenchmarkE9Classify(b *testing.B) {
+	q, _ := paper.Fig9Instance(4)
+	for i := 0; i < b.N; i++ {
+		_ = bounds.IsNormalLattice(q)
+	}
+}
+
+// E10: LLP primal+dual solve on the running example (Lemma 3.9).
+func BenchmarkE10LLPDuality(b *testing.B) {
+	q := paper.Fig1QuasiProduct(256)
+	for i := 0; i < b.N; i++ {
+		_ = bounds.LLP(q)
+	}
+}
+
+// E11: quasi-product materialization check (Lemma 4.5).
+func BenchmarkE11QuasiProduct(b *testing.B) {
+	q := paper.Fig1QuasiProduct(64)
+	for i := 0; i < b.N; i++ {
+		_ = naive.Evaluate(q)
+	}
+}
+
+// E12: simple FDs — chain algorithm on a distributive lattice (Cor. 5.17).
+func BenchmarkE12SimpleFDs(b *testing.B) {
+	q := paper.SimpleFDChain(5, 64)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := chainalg.RunBest(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the substrates ---
+
+func BenchmarkMicroFDClosure(b *testing.B) {
+	q := paper.Fig1()
+	u := varset.Universe(4)
+	for i := 0; i < b.N; i++ {
+		u.Subsets(func(x varset.Set) bool {
+			_ = q.FDs.Closure(x)
+			return true
+		})
+	}
+}
+
+func BenchmarkMicroLatticeBuild(b *testing.B) {
+	fam := paper.Fig9Family()
+	for i := 0; i < b.N; i++ {
+		_ = lattice.FromFamily(9, fam)
+	}
+}
+
+func BenchmarkMicroMobius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := lattice.Boolean(5)
+		_ = l.Mobius(0, l.Top)
+	}
+}
+
+func BenchmarkMicroSimplexLLP(b *testing.B) {
+	q, _ := paper.Fig9Instance(16)
+	for i := 0; i < b.N; i++ {
+		_ = bounds.LLP(q)
+	}
+}
+
+func BenchmarkMicroIndexBuild(b *testing.B) {
+	q := paper.TriangleProduct(32)
+	r := q.Rels[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.IndexOn(0, 1)
+	}
+}
+
+func BenchmarkMicroSMProofSearch(b *testing.B) {
+	q, _ := paper.Fig4Instance(27)
+	llp := bounds.LLP(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if smalg.FindProof(llp) == nil {
+			b.Fatal("proof must exist")
+		}
+	}
+}
+
+func BenchmarkMicroExpansion(b *testing.B) {
+	q := paper.Fig1QuasiProduct(256)
+	for i := 0; i < b.N; i++ {
+		_, _, err := wcoj.BinaryPlan(q, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- ablation benches (design-choice comparisons called out in DESIGN.md) ---
+
+// Ablation: chain selection policy. Corollary 5.9 (join-irreducibles) vs
+// Corollary 5.11 (meet-irreducibles) vs exhaustive maximal-chain search.
+func BenchmarkAblationChainChoice(b *testing.B) {
+	q := paper.Fig1QuasiProduct(256)
+	l := q.Lattice()
+	inputs := q.InputElems()
+	b.Run("cor5.9", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := l.GoodChainJoinIrreducibles(inputs)
+			if _, _, err := chainalg.Run(q, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cor5.11", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := l.GoodChainMeetIrreducibles(inputs)
+			if _, _, err := chainalg.Run(q, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("best-enumerated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chainalg.RunBest(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: SMA vs CSMA vs Chain on the same query where all apply (Fig.1).
+func BenchmarkAblationAlgorithms(b *testing.B) {
+	q := paper.Fig1QuasiProduct(144)
+	b.Run("chain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := chainalg.RunBest(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sma", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := smalg.RunAuto(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csma", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := csma.Run(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: exact rational LLP solve cost as the lattice grows.
+func BenchmarkAblationLLPSize(b *testing.B) {
+	q1 := paper.M3Instance(8)       // |L| = 5
+	q2 := paper.Fig1QuasiProduct(4) // |L| = 12
+	q3, _ := paper.Fig9Instance(4)  // |L| = 18
+	b.Run("L=5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = bounds.LLP(q1)
+		}
+	})
+	b.Run("L=12", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = bounds.LLP(q2)
+		}
+	})
+	b.Run("L=18", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = bounds.LLP(q3)
+		}
+	})
+}

@@ -1,0 +1,111 @@
+// Package bounds computes every output-size bound the paper studies:
+// the AGM bound (Sec. 2), the AGM bound of the closure query Q⁺, the lattice
+// linear program LLP whose optimum is the GLVV bound (Sec. 3.3), its dual
+// (Eq. 8), the chain bound (Sec. 5.1), the co-atomic cover bound and the
+// normality test for lattices (Sec. 4), and the conditional LLP with degree
+// bounds (Sec. 5.3.1).
+//
+// All values are exact rationals in log2 space: a bound value b means the
+// output size is at most 2^b.
+package bounds
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/hypergraph"
+	"repro/internal/query"
+	"repro/internal/varset"
+)
+
+// AGMResult reports a fractional-edge-cover-based bound.
+type AGMResult struct {
+	LogBound *big.Rat   // log2 of the size bound (ρ* weighted by log sizes)
+	Weights  []*big.Rat // optimal edge cover, one weight per relation
+	Finite   bool
+}
+
+// Bound returns the size bound 2^LogBound as a float64 (+Inf when the cover
+// is infeasible).
+func (r *AGMResult) Bound() float64 {
+	if !r.Finite {
+		return math.Inf(1)
+	}
+	f, _ := r.LogBound.Float64()
+	return math.Exp2(f)
+}
+
+// AGM computes the AGM bound of the query, ignoring all FDs: the weighted
+// fractional edge cover of the query hypergraph with n_j = log2|R_j|.
+func AGM(q *query.Q) *AGMResult {
+	h := hypergraph.New(q.K)
+	for _, r := range q.Rels {
+		h.AddEdge(r.Name, r.VarSet())
+	}
+	// Variables not in any relation (derivable only via UDFs) would make the
+	// plain AGM bound infinite; that is the correct semantics of "ignoring
+	// the FDs".
+	res := h.FractionalEdgeCover(q.LogSizes())
+	if !res.Finite {
+		return &AGMResult{Finite: false}
+	}
+	return &AGMResult{LogBound: res.Value, Weights: res.Weights, Finite: true}
+}
+
+// AGMClosure computes AGM(Q⁺): the AGM bound after replacing every relation
+// R_j(X_j) with R_j(X_j⁺) (Sec. 2, "Closure"). For simple keys this bound is
+// tight; for general FDs it can be arbitrarily loose.
+func AGMClosure(q *query.Q) *AGMResult {
+	h := hypergraph.New(q.K)
+	for _, r := range q.Rels {
+		h.AddEdge(r.Name+"+", q.FDs.Closure(r.VarSet()))
+	}
+	res := h.FractionalEdgeCover(q.LogSizes())
+	if !res.Finite {
+		return &AGMResult{Finite: false}
+	}
+	return &AGMResult{LogBound: res.Value, Weights: res.Weights, Finite: true}
+}
+
+// VertexPacking computes the weighted fractional vertex packing of the query
+// hypergraph, whose optimum matches AGM by LP duality and whose integral
+// rounding drives the product worst-case instance (Theorem 2.1 part 2).
+func VertexPacking(q *query.Q) *hypergraph.PackingResult {
+	h := hypergraph.New(q.K)
+	for _, r := range q.Rels {
+		h.AddEdge(r.Name, r.VarSet())
+	}
+	return h.FractionalVertexPacking(q.LogSizes())
+}
+
+// CoatomicHypergraph builds H_co (Definition 4.7): nodes are the co-atoms of
+// the lattice; relation R_j's hyperedge contains the co-atoms Z with
+// R_j ⋠ Z.
+func CoatomicHypergraph(q *query.Q) (*hypergraph.H, []int) {
+	l := q.Lattice()
+	co := l.Coatoms()
+	h := hypergraph.New(len(co))
+	inputs := q.InputElems()
+	for j, r := range inputs {
+		var e varset.Set
+		for i, z := range co {
+			if !l.Leq(r, z) {
+				e = e.Add(i)
+			}
+		}
+		h.AddEdge(q.Rels[j].Name, e)
+	}
+	return h, co
+}
+
+// CoatomicCover computes the fractional edge cover bound on the co-atomic
+// hypergraph. On a normal lattice this equals the GLVV bound (Theorem 4.9);
+// on non-normal lattices it can under-estimate the true worst case (M3).
+func CoatomicCover(q *query.Q) *AGMResult {
+	h, _ := CoatomicHypergraph(q)
+	res := h.FractionalEdgeCover(q.LogSizes())
+	if !res.Finite {
+		return &AGMResult{Finite: false}
+	}
+	return &AGMResult{LogBound: res.Value, Weights: res.Weights, Finite: true}
+}

@@ -1,0 +1,105 @@
+package bounds
+
+import (
+	"math/big"
+
+	"repro/internal/lattice"
+	"repro/internal/lp"
+)
+
+// DualLLP is the explicit dual of the lattice linear program (Eq. 8 of the
+// paper, completed with one flow-conservation row per lattice element):
+//
+//	min Σ_j w_j·n_j
+//	s.t. Σ_{X≁Y, X∨Y=1̂} s_{X,Y} ≥ 1
+//	     w_j·[Z=R_j] + Σ_{X∨Y=Z} s_{X,Y} + Σ_{X∧Y=Z} s_{X,Y}
+//	        − Σ_{Y≁Z} s_{Z,Y} ≥ 0          for every Z ∈ L \ {0̂, 1̂}
+//	     w, s ≥ 0
+//
+// Its feasible (w, s) are exactly the SM-provable output inequalities
+// (Lemma 3.9); its optimum equals the LLP optimum by strong duality.
+type DualLLP struct {
+	Objective *big.Rat
+	W         []*big.Rat
+	S         map[SubmodPair]*big.Rat
+}
+
+// SolveDualLLP builds and solves the explicit dual. Pairs are ordered
+// (min, max) by element index.
+func SolveDualLLP(l *lattice.Lattice, inputs []int, logSizes []*big.Rat) *DualLLP {
+	n := l.Size()
+	var pairs []SubmodPair
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if l.Incomparable(x, y) {
+				pairs = append(pairs, SubmodPair{x, y})
+			}
+		}
+	}
+	nw := len(inputs)
+	p := lp.NewProblem(nw+len(pairs), false)
+	for j := range inputs {
+		p.SetObj(j, logSizes[j])
+	}
+	one := big.NewRat(1, 1)
+	zero := new(big.Rat)
+
+	// Row for 1̂: Σ_{X∨Y=1̂} s ≥ 1.
+	var topTerms []lp.Term
+	for i, pr := range pairs {
+		if l.Join(pr.X, pr.Y) == l.Top {
+			topTerms = append(topTerms, lp.T(nw+i, 1))
+		}
+	}
+	// 1̂ can itself be an input with positive weight.
+	for j, r := range inputs {
+		if r == l.Top {
+			topTerms = append(topTerms, lp.T(j, 1))
+		}
+	}
+	p.Add(lp.GE, one, topTerms...)
+
+	// One row per Z ∈ L \ {0̂, 1̂}.
+	for z := 0; z < n; z++ {
+		if z == l.Bottom || z == l.Top {
+			continue
+		}
+		var terms []lp.Term
+		for j, r := range inputs {
+			if r == z {
+				terms = append(terms, lp.T(j, 1))
+			}
+		}
+		for i, pr := range pairs {
+			c := 0
+			if l.Join(pr.X, pr.Y) == z {
+				c++
+			}
+			if l.Meet(pr.X, pr.Y) == z {
+				c++
+			}
+			if pr.X == z || pr.Y == z {
+				c--
+			}
+			if c != 0 {
+				terms = append(terms, lp.T(nw+i, int64(c)))
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		p.Add(lp.GE, zero, terms...)
+	}
+
+	sol, err := lp.Solve(p)
+	if err != nil || sol.Status != lp.Optimal {
+		panic("bounds: dual LLP must be solvable (LLP is bounded)")
+	}
+	out := &DualLLP{Objective: sol.Objective, W: sol.X[:nw], S: map[SubmodPair]*big.Rat{}}
+	for i, pr := range pairs {
+		if sol.X[nw+i].Sign() != 0 {
+			out.S[pr] = sol.X[nw+i]
+		}
+	}
+	return out
+}

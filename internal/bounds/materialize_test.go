@@ -1,0 +1,107 @@
+package bounds
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/lattice"
+	"repro/internal/paper"
+)
+
+func TestMaterializeBooleanCardinality(t *testing.T) {
+	// h(X) = |X| on 2^3 is strictly normal; its canonical instance is the
+	// product {0,1}³ and every projection has 2^{|X|} tuples.
+	l := lattice.Boolean(3)
+	h := make([]*big.Rat, l.Size())
+	for x := range h {
+		h[x] = new(big.Rat).SetInt64(int64(l.Elems[x].Len()))
+	}
+	m, err := MaterializeNormal(l, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D.Len() != 8 {
+		t.Fatalf("|D| = %d, want 8", m.D.Len())
+	}
+	for x := 0; x < l.Size(); x++ {
+		want, _ := h[x].Float64()
+		if got := m.EntropyOf(l, x); got != want {
+			t.Fatalf("entropy at %v = %v, want %v", l.Elems[x], got, want)
+		}
+	}
+}
+
+func TestMaterializeStepFunction(t *testing.T) {
+	l := lattice.Boolean(2)
+	for z := 0; z < l.Size()-1; z++ {
+		h := StepFunction(l, z)
+		m, err := MaterializeNormal(l, h)
+		if err != nil {
+			t.Fatalf("step at %v: %v", l.Elems[z], err)
+		}
+		for x := 0; x < l.Size(); x++ {
+			want, _ := h[x].Float64()
+			if got := m.EntropyOf(l, x); got != want {
+				t.Fatalf("step %v: entropy at %v = %v, want %v", l.Elems[z], l.Elems[x], got, want)
+			}
+		}
+	}
+}
+
+func TestMaterializeFig1Optimal(t *testing.T) {
+	// Lemma 4.5 on the running example: the LLP optimum of Fig. 1 (with
+	// N = 4 so h* is integral after doubling... use N = 4: h*(1̂) = 3,
+	// h*(singleton) = 1) is normal, and its canonical quasi-product
+	// instance realizes exactly h*.
+	q := paper.Fig1QuasiProduct(4) // n = log2(4) = 2, h* half-units = integers
+	llp := LLP(q)
+	l := llp.Lat
+	if !IsNormalFunction(l, llp.H) {
+		// The solver may return any optimal vertex; monotonize first.
+		llp.H = Monotonize(l, llp.H)
+	}
+	if !IsNormalFunction(l, llp.H) {
+		t.Skip("solver returned a non-normal optimal vertex; nothing to materialize")
+	}
+	m, err := MaterializeNormal(l, llp.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < l.Size(); x++ {
+		want, _ := llp.H[x].Float64()
+		if got := m.EntropyOf(l, x); got != want {
+			t.Fatalf("entropy at %v = %v, want %v", l.Elems[x], got, want)
+		}
+	}
+	// |D| = 2^{h(1̂)} = 2³ = 8 = N^{3/2}: the worst-case output is attained.
+	if m.D.Len() != 8 {
+		t.Fatalf("|D| = %d, want 8", m.D.Len())
+	}
+}
+
+func TestMaterializeRejectsNonNormal(t *testing.T) {
+	// The XOR polymatroid (Fig. 3 left) is not normal.
+	l := lattice.Boolean(3)
+	h := make([]*big.Rat, l.Size())
+	for x := range h {
+		switch l.Elems[x].Len() {
+		case 0:
+			h[x] = new(big.Rat)
+		case 1:
+			h[x] = big.NewRat(1, 1)
+		default:
+			h[x] = big.NewRat(2, 1)
+		}
+	}
+	if _, err := MaterializeNormal(l, h); err == nil {
+		t.Fatal("XOR function must be rejected")
+	}
+}
+
+func TestMaterializeRejectsNonIntegral(t *testing.T) {
+	l := lattice.Boolean(2)
+	h := []*big.Rat{new(big.Rat), big.NewRat(1, 2), big.NewRat(1, 2), big.NewRat(1, 1)}
+	if _, err := MaterializeNormal(l, h); err == nil {
+		t.Fatal("non-integral h must be rejected")
+	}
+}

@@ -1,0 +1,146 @@
+package bounds
+
+import (
+	"math/big"
+
+	"repro/internal/lattice"
+	"repro/internal/query"
+)
+
+// CMI computes the Möbius inverse g of h on the lattice:
+// g(X) = Σ_{Y ≥ X} µ(X, Y)·h(Y), so that h(X) = Σ_{Y ≥ X} g(Y) (Eq. 10).
+// For entropic h on a Boolean algebra, −g(X) is the multivariate conditional
+// mutual information I(1̂ − X | X).
+func CMI(l *lattice.Lattice, h []*big.Rat) []*big.Rat {
+	n := l.Size()
+	g := make([]*big.Rat, n)
+	t := new(big.Rat)
+	for x := 0; x < n; x++ {
+		g[x] = new(big.Rat)
+		for y := 0; y < n; y++ {
+			if !l.Leq(x, y) {
+				continue
+			}
+			mu := l.Mobius(x, y)
+			if mu == 0 {
+				continue
+			}
+			t.Mul(new(big.Rat).SetInt64(mu), h[y])
+			g[x].Add(g[x], t)
+		}
+	}
+	return g
+}
+
+// MobiusSum recovers h from g: h(X) = Σ_{Y ≥ X} g(Y).
+func MobiusSum(l *lattice.Lattice, g []*big.Rat) []*big.Rat {
+	n := l.Size()
+	h := make([]*big.Rat, n)
+	for x := 0; x < n; x++ {
+		h[x] = new(big.Rat)
+		for y := 0; y < n; y++ {
+			if l.Leq(x, y) {
+				h[x].Add(h[x], g[y])
+			}
+		}
+	}
+	return h
+}
+
+// IsNormalFunction reports whether h is a normal submodular function
+// (Lemma 4.2): its Möbius inverse g satisfies g(Z) ≤ 0 for all Z ≺ 1̂.
+func IsNormalFunction(l *lattice.Lattice, h []*big.Rat) bool {
+	g := CMI(l, h)
+	for z := 0; z < l.Size(); z++ {
+		if z != l.Top && g[z].Sign() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsStrictlyNormal additionally requires g(Z) = 0 for every Z ≺ 1̂ that is
+// not a co-atom.
+func IsStrictlyNormal(l *lattice.Lattice, h []*big.Rat) bool {
+	if !IsNormalFunction(l, h) {
+		return false
+	}
+	g := CMI(l, h)
+	isCoatom := make([]bool, l.Size())
+	for _, c := range l.Coatoms() {
+		isCoatom[c] = true
+	}
+	for z := 0; z < l.Size(); z++ {
+		if z != l.Top && !isCoatom[z] && g[z].Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StepFunction returns h_Z: h_Z(X) = 1 if X ⋠ Z, else 0. Step functions are
+// the extreme rays of the normal polymatroid cone (Sec. 4).
+func StepFunction(l *lattice.Lattice, z int) []*big.Rat {
+	h := make([]*big.Rat, l.Size())
+	one := big.NewRat(1, 1)
+	for x := range h {
+		h[x] = new(big.Rat)
+		if !l.Leq(x, z) {
+			h[x].Set(one)
+		}
+	}
+	return h
+}
+
+// NormalDecomposition decomposes a normal polymatroid into non-negative
+// coefficients over step functions: h = Σ_{Z ≠ 1̂} a_Z·h_Z with
+// a_Z = −g(Z) ≥ 0. It returns nil if h is not normal.
+func NormalDecomposition(l *lattice.Lattice, h []*big.Rat) []*big.Rat {
+	g := CMI(l, h)
+	a := make([]*big.Rat, l.Size())
+	for z := range a {
+		a[z] = new(big.Rat)
+		if z == l.Top {
+			continue
+		}
+		a[z].Neg(g[z])
+		if a[z].Sign() < 0 {
+			return nil
+		}
+	}
+	return a
+}
+
+// NormalityResult is the outcome of the lattice normality decision
+// procedure (Theorem 4.9, item 3).
+type NormalityResult struct {
+	Normal bool
+	// Witness, when not normal: a fractional edge cover of the co-atomic
+	// hypergraph whose output inequality fails on some submodular function.
+	WitnessCover []*big.Rat
+}
+
+// IsNormalLattice decides whether the lattice is normal w.r.t. the query's
+// inputs, using the paper's naive procedure: enumerate the vertices of the
+// fractional edge cover polytope of the co-atomic hypergraph and check that
+// each resulting output inequality (7) holds over the submodular cone
+// (Lemma 3.9 / Theorem 4.9 item 3). Exponential in query size; fine for the
+// paper's lattices.
+func IsNormalLattice(q *query.Q) *NormalityResult {
+	l := q.Lattice()
+	inputs := q.InputElems()
+	h, _ := CoatomicHypergraph(q)
+	if h.HasIsolatedVertex() {
+		// A co-atom covered by no edge means the cover polytope is empty;
+		// vacuously every cover inequality holds, and the condition of
+		// item 3 degenerates. Treat as normal w.r.t. these inputs.
+		return &NormalityResult{Normal: true}
+	}
+	poly := h.CoverPolytope()
+	for _, w := range poly.Vertices() {
+		if !OutputInequalityHolds(l, inputs, w) {
+			return &NormalityResult{Normal: false, WitnessCover: w}
+		}
+	}
+	return &NormalityResult{Normal: true}
+}

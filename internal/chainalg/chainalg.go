@@ -1,0 +1,167 @@
+// Package chainalg implements the Chain Algorithm (Algorithm 1, Sec. 5.1):
+// a worst-case optimal join for queries with FDs that climbs a good chain
+// 0̂ = C_0 ≺ C_1 ≺ ... ≺ C_k = 1̂ of the FD lattice, computing intermediate
+// relations Q_i over the variables of C_i by per-tuple minimum-cost
+// conditional search, exactly as in the paper's proof of Theorem 5.7.
+package chainalg
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/expand"
+	"repro/internal/lattice"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/varset"
+)
+
+// Value aliases the relational value type.
+type Value = rel.Value
+
+// Stats reports the work performed, making the Õ(Σ_i Π_j n_ij^{w_j})
+// behaviour observable.
+type Stats struct {
+	Chain         lattice.Chain
+	TuplesVisited int   // candidate tuples enumerated from the min relation
+	Probes        int   // index probes for verification
+	Intermediate  []int // |Q_i| per chain step
+}
+
+// Run evaluates the query along the given chain, which must be good for all
+// inputs and have no isolated step (use bounds.BestChainBound to select
+// one).
+func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
+	l := q.Lattice()
+	inputs := q.InputElems()
+	if !l.IsChain(c) {
+		return nil, nil, fmt.Errorf("chainalg: not a chain")
+	}
+	if !l.GoodForAll(c, inputs) {
+		return nil, nil, fmt.Errorf("chainalg: chain is not good for the inputs")
+	}
+	st := &Stats{Chain: c}
+	e := expand.New(q)
+
+	// Line 1: expand every input to its closure.
+	expanded := make([]*rel.Relation, len(q.Rels))
+	for j, r := range q.Rels {
+		expanded[j] = e.ExpandToClosure(r)
+	}
+
+	// Q_0 = {()}.
+	prev := rel.New("Q0")
+	prev.Add()
+
+	vals := make([]Value, q.K)
+	for i := 1; i < len(c); i++ {
+		ciVars := l.Elems[c[i]]
+		prevVars := l.Elems[c[i-1]]
+
+		// Relations covering step i, with their projections Π_{R_j∧C_i}(R_j)
+		// indexed so that the C_{i-1}-shared attributes form the prefix.
+		type covering struct {
+			j          int
+			proj       *rel.Relation
+			ix         *rel.Index
+			sharedVars []int // vars(R_j ∧ C_{i-1}): the join attributes
+			projVars   varset.Set
+			memberIx   *rel.Index // full-row membership index
+		}
+		var covs []*covering
+		for j, r := range inputs {
+			if !l.CoversStep(c, r, i) {
+				continue
+			}
+			projSet := l.Elems[l.Meet(r, c[i])]
+			sharedSet := l.Elems[l.Meet(r, c[i-1])]
+			proj := expanded[j].Project(projSet)
+			prio := append(append([]int{}, sharedSet.Members()...), projSet.Diff(sharedSet).Members()...)
+			covs = append(covs, &covering{
+				j:          j,
+				proj:       proj,
+				ix:         proj.IndexOn(prio...),
+				sharedVars: sharedSet.Members(),
+				projVars:   projSet,
+				memberIx:   proj.IndexOn(projSet.Members()...),
+			})
+		}
+		if len(covs) == 0 {
+			return nil, nil, fmt.Errorf("chainalg: step %d is an isolated vertex", i)
+		}
+
+		out := rel.New(fmt.Sprintf("Q%d", i), ciVars.Members()...)
+		for _, t := range prev.Rows() {
+			for k, v := range prev.Attrs {
+				vals[v] = t[k]
+			}
+			// Choose j* = argmin |t ⋈ Π_{R_j∧C_i}(R_j)|.
+			var best *covering
+			bestLo, bestHi := 0, 0
+			for _, cv := range covs {
+				prefix := make([]Value, len(cv.sharedVars))
+				for k, v := range cv.sharedVars {
+					prefix[k] = vals[v]
+				}
+				lo, hi := cv.ix.Range(prefix...)
+				st.Probes++
+				if best == nil || hi-lo < bestHi-bestLo {
+					best, bestLo, bestHi = cv, lo, hi
+				}
+			}
+			// Enumerate candidates from the cheapest relation, expand each
+			// to C_i, and verify against the other covering relations.
+			for pos := bestLo; pos < bestHi; pos++ {
+				st.TuplesVisited++
+				row := best.ix.Row(pos)
+				for k, a := range best.proj.Attrs {
+					// best.ix.Row returns the underlying row in schema order.
+					vals[a] = row[k]
+				}
+				have := prevVars.Union(best.projVars)
+				have2, ok := e.ExpandTuple(vals, have, ciVars)
+				if !ok {
+					continue
+				}
+				_ = have2
+				okAll := true
+				for _, cv := range covs {
+					if cv == best {
+						continue
+					}
+					probe := make([]Value, 0, cv.projVars.Len())
+					for _, v := range cv.projVars.Members() {
+						probe = append(probe, vals[v])
+					}
+					st.Probes++
+					if !cv.memberIx.Contains(probe...) {
+						okAll = false
+						break
+					}
+				}
+				if !okAll {
+					continue
+				}
+				nt := make(rel.Tuple, ciVars.Len())
+				for k, v := range ciVars.Members() {
+					nt[k] = vals[v]
+				}
+				out.AddTuple(nt)
+			}
+		}
+		out.SortDedup()
+		st.Intermediate = append(st.Intermediate, out.Len())
+		prev = out
+	}
+	return prev, st, nil
+}
+
+// RunBest selects the best good chain via bounds.BestChainBound and runs the
+// algorithm on it.
+func RunBest(q *query.Q) (*rel.Relation, *Stats, error) {
+	cb := bounds.BestChainBound(q, 64)
+	if !cb.Finite {
+		return nil, nil, fmt.Errorf("chainalg: no good chain with a finite bound")
+	}
+	return Run(q, cb.Chain)
+}

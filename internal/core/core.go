@@ -1,0 +1,147 @@
+// Package core is the façade API of the library: one-call analysis of a
+// query with functional dependencies (every bound and lattice
+// classification the paper studies) and one-call execution with any of the
+// paper's algorithms or the FD-blind baselines.
+//
+// Typical use:
+//
+//	q := query.New("x", "y", "z") ... // define relations and FDs
+//	a := core.Analyze(q)              // bounds + lattice classification
+//	out, stats, err := core.Execute(q, core.AlgAuto)
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/chainalg"
+	"repro/internal/csma"
+	"repro/internal/lattice"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/smalg"
+	"repro/internal/wcoj"
+)
+
+// Analysis aggregates every bound (in log2) and lattice property.
+type Analysis struct {
+	LatticeSize  int
+	Distributive bool
+	Modular      bool
+	BooleanAlg   bool
+	HasM3Top     bool // Prop. 4.10 necessary condition for non-normality
+	Normal       bool // Theorem 4.9 decision procedure
+
+	LogAGM        float64 // AGM bound ignoring FDs (+Inf if infeasible)
+	LogAGMClosure float64 // AGM(Q⁺)
+	LogCoatomic   float64 // co-atomic cover bound (valid iff Normal)
+	LogLLP        float64 // GLVV bound (LLP optimum)
+	LogCLLP       float64 // CLLP with declared degree bounds
+	LogChain      float64 // best good chain bound (+Inf if none)
+
+	Chain         lattice.Chain // the best good chain found
+	SMProofExists bool          // a good SM proof for some optimal dual
+}
+
+// Analyze computes all bounds and classifications for the query.
+func Analyze(q *query.Q) *Analysis {
+	l := q.Lattice()
+	a := &Analysis{
+		LatticeSize:  l.Size(),
+		Distributive: l.IsDistributive(),
+		Modular:      l.IsModular(),
+		BooleanAlg:   l.IsBoolean(),
+		HasM3Top:     l.HasM3Top(),
+	}
+	a.Normal = bounds.IsNormalLattice(q).Normal
+
+	logOf := func(r *bounds.AGMResult) float64 {
+		if !r.Finite {
+			return math.Inf(1)
+		}
+		f, _ := r.LogBound.Float64()
+		return f
+	}
+	a.LogAGM = logOf(bounds.AGM(q))
+	a.LogAGMClosure = logOf(bounds.AGMClosure(q))
+	a.LogCoatomic = logOf(bounds.CoatomicCover(q))
+
+	llp := bounds.LLP(q)
+	a.LogLLP, _ = llp.LogBound.Float64()
+
+	cllp := bounds.CLLPFromQuery(q)
+	if cllp.LogBound == nil {
+		a.LogCLLP = math.Inf(1)
+	} else {
+		a.LogCLLP, _ = cllp.LogBound.Float64()
+	}
+
+	cb := bounds.BestChainBound(q, 64)
+	if cb.Finite {
+		a.LogChain, _ = cb.LogBound.Float64()
+		a.Chain = cb.Chain
+	} else {
+		a.LogChain = math.Inf(1)
+	}
+
+	hco, _ := bounds.CoatomicHypergraph(q)
+	if !hco.HasIsolatedVertex() {
+		a.SMProofExists = smalg.FindProofAny(llp, q.LogSizes(), hco.CoverPolytope().Vertices()) != nil
+	} else {
+		a.SMProofExists = smalg.FindProof(llp) != nil
+	}
+	return a
+}
+
+// Algorithm selects an execution strategy.
+type Algorithm string
+
+// Available algorithms.
+const (
+	AlgAuto        Algorithm = "auto"    // SMA if a good proof exists, else CSMA
+	AlgChain       Algorithm = "chain"   // Chain Algorithm (Alg. 1)
+	AlgSM          Algorithm = "sm"      // Sub-Modularity Algorithm (Alg. 2)
+	AlgCSMA        Algorithm = "csma"    // Conditional SM Algorithm (Sec. 5.3)
+	AlgGenericJoin Algorithm = "generic" // FD-blind worst-case-optimal join
+	AlgBinary      Algorithm = "binary"  // traditional binary-join plan
+)
+
+// ExecStats reports timing and output size.
+type ExecStats struct {
+	Algorithm Algorithm
+	Duration  time.Duration
+	OutSize   int
+}
+
+// Execute runs the query with the chosen algorithm and returns the result
+// over all query variables.
+func Execute(q *query.Q, alg Algorithm) (*rel.Relation, *ExecStats, error) {
+	start := time.Now()
+	var out *rel.Relation
+	var err error
+	switch alg {
+	case AlgChain:
+		out, _, err = chainalg.RunBest(q)
+	case AlgSM:
+		out, _, err = smalg.RunAuto(q)
+	case AlgCSMA:
+		out, _, err = csma.Run(q, nil)
+	case AlgGenericJoin:
+		out, _, err = wcoj.GenericJoin(q, wcoj.DefaultOrder(q))
+	case AlgBinary:
+		out, _, err = wcoj.BinaryPlan(q, nil)
+	case AlgAuto:
+		out, _, err = smalg.RunAuto(q)
+		if err != nil {
+			out, _, err = csma.Run(q, nil)
+		}
+	default:
+		return nil, nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &ExecStats{Algorithm: alg, Duration: time.Since(start), OutSize: out.Len()}, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/paper"
+	"repro/internal/rel"
+)
+
+func TestAnalyzeFig1(t *testing.T) {
+	q := paper.Fig1QuasiProduct(16)
+	a := Analyze(q)
+	n := math.Log2(16)
+	if a.LatticeSize != 12 || a.Distributive || !a.Normal {
+		t.Fatalf("Fig1 classification wrong: %+v", a)
+	}
+	if math.Abs(a.LogLLP-1.5*n) > 1e-6 || math.Abs(a.LogChain-1.5*n) > 1e-6 {
+		t.Fatalf("Fig1 bounds wrong: LLP %v chain %v", a.LogLLP, a.LogChain)
+	}
+	if math.Abs(a.LogAGM-2*n) > 1e-6 {
+		t.Fatalf("Fig1 AGM %v, want %v", a.LogAGM, 2*n)
+	}
+	if !a.SMProofExists {
+		t.Fatal("Fig1 should have a good SM proof")
+	}
+}
+
+func TestAnalyzeM3(t *testing.T) {
+	q := paper.M3Instance(8)
+	a := Analyze(q)
+	if a.Normal || !a.HasM3Top || a.Distributive || !a.Modular {
+		t.Fatalf("M3 classification wrong: %+v", a)
+	}
+	n := math.Log2(8)
+	if math.Abs(a.LogLLP-2*n) > 1e-6 {
+		t.Fatalf("M3 LLP %v, want %v", a.LogLLP, 2*n)
+	}
+	if math.Abs(a.LogCoatomic-1.5*n) > 1e-6 {
+		t.Fatalf("M3 coatomic %v, want %v", a.LogCoatomic, 1.5*n)
+	}
+}
+
+func TestAnalyzeFig9(t *testing.T) {
+	q, _ := paper.Fig9Instance(4)
+	a := Analyze(q)
+	if a.SMProofExists {
+		t.Fatal("Fig9 must have no good SM proof (Example 5.31)")
+	}
+	if !a.Normal {
+		t.Fatal("Fig9 lattice is normal")
+	}
+}
+
+func TestExecuteAllAlgorithms(t *testing.T) {
+	q := paper.Fig1QuasiProduct(16)
+	want := naive.Evaluate(q)
+	for _, alg := range []Algorithm{AlgChain, AlgSM, AlgCSMA, AlgGenericJoin, AlgBinary, AlgAuto} {
+		out, st, err := Execute(q, alg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !rel.Equal(out, want) {
+			t.Fatalf("%s: wrong answer", alg)
+		}
+		if st.OutSize != want.Len() {
+			t.Fatalf("%s: stats OutSize %d != %d", alg, st.OutSize, want.Len())
+		}
+	}
+}
+
+func TestExecuteAutoFallsBackToCSMA(t *testing.T) {
+	// Fig9 has no SM proof: Auto must fall through to CSMA and still be
+	// correct.
+	q, _ := paper.Fig9Instance(9)
+	out, st, err := Execute(q, AlgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("auto produced a wrong answer on Fig9")
+	}
+	_ = st
+}
+
+func TestExecuteUnknown(t *testing.T) {
+	q := paper.TriangleProduct(2)
+	if _, _, err := Execute(q, Algorithm("nope")); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}

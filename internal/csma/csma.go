@@ -1,0 +1,378 @@
+// Package csma implements the Conditional Sub-Modularity Algorithm of
+// Sec. 5.3 — the paper's main algorithm, which runs within the GLVV bound
+// (the CLLP optimum) up to a poly-log factor and handles prescribed degree
+// bounds, of which cardinalities and FDs are special cases.
+//
+// The implementation follows the paper's structure:
+//
+//  1. Solve the conditional LLP and take a dual-optimal (c, s, m)
+//     (Sec. 5.3.1).
+//  2. Build a CSM plan by the conditional-closure construction of
+//     Theorem 5.34: grow K from 0̂ by CD-steps (projections down) and
+//     CC-steps (c_{Y|X} > 0), and when K is conditionally closed use
+//     Lemma 5.33 to find an SM-step pair (A, B) with s_{A,B} > 0 whose join
+//     leaves K.
+//  3. Execute the plan. Every CC/SM join conditions T(B) on Z = A∧B and
+//     partitions it into ≤ 2·log N degree buckets (Lemma 5.35); buckets
+//     whose join fits in the budget 2^{OPT+θ} are joined directly, and
+//     buckets that would exceed the budget trigger a restart on a
+//     re-solved CLLP that includes the branch's observed cardinalities and
+//     degrees, whose optimum provably drops (Lemma 5.36).
+//
+// The union of the T(1̂) tables across branches, semi-join reduced against
+// every input and FD-filtered, is exactly Q^D.
+package csma
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/expand"
+	"repro/internal/lattice"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/varset"
+)
+
+// Options tunes the execution.
+type Options struct {
+	Theta       float64 // budget slack in the exponent (default 1.0)
+	MaxRestarts int     // restart budget before falling back (default 8)
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{Theta: 1.0, MaxRestarts: 8}
+	if o != nil {
+		if o.Theta > 0 {
+			out.Theta = o.Theta
+		}
+		if o.MaxRestarts > 0 {
+			out.MaxRestarts = o.MaxRestarts
+		}
+	}
+	return out
+}
+
+// Stats reports the execution behaviour.
+type Stats struct {
+	OPT        float64 // initial CLLP optimum (log2)
+	Branches   int     // degree-bucket branches executed
+	Restarts   int     // CLLP re-solves triggered by budget overflows
+	Overflows  int     // joins that exceeded the budget after restart cap
+	JoinTuples int     // tuples materialized across CC/SM joins
+	PlanLen    int
+}
+
+// opKind discriminates plan operations.
+type opKind int
+
+const (
+	opProj opKind = iota // T(X) := Π_X(T(Y)), X ≺ Y (CD-rule)
+	opJoin               // T(A∨B) := (T(A) ⋈ T(B))⁺ conditioned on Z=A∧B (CC/SM-rule)
+)
+
+// op is one plan operation over lattice element indices.
+type op struct {
+	kind opKind
+	x, y int // proj: x ≺ y; join: the pair (A, B)
+	out  int // element produced
+}
+
+// buildPlan runs the Theorem 5.34 construction on a dual solution.
+func buildPlan(l *lattice.Lattice, res *bounds.CLLPResult) ([]op, error) {
+	inK := make([]bool, l.Size())
+	inK[l.Bottom] = true
+	var plan []op
+	// Inputs (cardinality pairs from 0̂) are already materialized; seed them.
+	for i, dp := range res.P {
+		if dp.X == l.Bottom && res.C[i].Sign() > 0 {
+			inK[dp.Y] = true
+		}
+	}
+	add := func(o op) {
+		plan = append(plan, o)
+		inK[o.out] = true
+	}
+	closeK := func() {
+		for changed := true; changed; {
+			changed = false
+			// CD: everything below a member joins K via projection.
+			for y := 0; y < l.Size(); y++ {
+				if !inK[y] {
+					continue
+				}
+				for x := 0; x < l.Size(); x++ {
+					if !inK[x] && l.Lt(x, y) {
+						add(op{kind: opProj, x: x, y: y, out: x})
+						changed = true
+					}
+				}
+			}
+			// CC: c_{Y|X} > 0 with X ∈ K adds Y.
+			for i, dp := range res.P {
+				if res.C[i].Sign() > 0 && inK[dp.X] && !inK[dp.Y] {
+					add(op{kind: opJoin, x: dp.X, y: dp.Y, out: dp.Y})
+					changed = true
+				}
+			}
+		}
+	}
+	for guard := 0; guard < l.Size()*l.Size()+2; guard++ {
+		closeK()
+		if inK[l.Top] {
+			return plan, nil
+		}
+		// Lemma 5.33: find A, B ∈ K̄ with s_{A,B} > 0 and A∨B ∉ K̄.
+		found := false
+		for pr, s := range res.S {
+			if s.Sign() <= 0 {
+				continue
+			}
+			a, b := pr.X, pr.Y
+			if inK[a] && inK[b] && !inK[l.Join(a, b)] {
+				add(op{kind: opJoin, x: a, y: b, out: l.Join(a, b)})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("csma: conditional closure stuck before reaching 1̂ (Lemma 5.33 pair not found)")
+		}
+	}
+	return nil, fmt.Errorf("csma: plan construction did not converge")
+}
+
+// Run evaluates the query with CSMA.
+func Run(q *query.Q, optsIn *Options) (*rel.Relation, *Stats, error) {
+	opts := optsIn.withDefaults()
+	l := q.Lattice()
+	e := expand.New(q)
+	st := &Stats{}
+
+	res := bounds.CLLPFromQuery(q)
+	if res.LogBound == nil {
+		return nil, nil, fmt.Errorf("csma: CLLP is unbounded (query not computable from the given constraints)")
+	}
+	st.OPT, _ = res.LogBound.Float64()
+
+	plan, err := buildPlan(l, res)
+	if err != nil {
+		return nil, st, err
+	}
+	st.PlanLen = len(plan)
+
+	// Initial state: expanded inputs, intersected on duplicate elements.
+	initState := make([]*rel.Relation, l.Size())
+	bottom := rel.New("T0")
+	bottom.Add()
+	initState[l.Bottom] = bottom
+	for _, r := range q.Rels {
+		elem := l.IndexOfClosure(r.VarSet())
+		t := e.ExpandToClosure(r)
+		if prev := initState[elem]; prev != nil && elem != l.Bottom {
+			t = rel.Intersect(prev, t)
+		}
+		initState[elem] = t
+	}
+	// Degree-bound pairs (X, Y) need a guard table for Y: the projection of
+	// the guard relation onto vars(Y⁺).
+	for _, d := range q.DegreeBounds {
+		yElem := l.IndexOfClosure(d.Y)
+		if initState[yElem] != nil {
+			continue
+		}
+		g := e.ExpandToClosure(q.Rels[d.Guard])
+		initState[yElem] = g.Project(l.Elems[yElem])
+	}
+
+	results := rel.New("Q", q.AllVars().Members()...)
+	budget := math.Exp2(st.OPT + opts.Theta)
+
+	var exec func(plan []op, idx int, state []*rel.Relation, restarts int) error
+	exec = func(plan []op, idx int, state []*rel.Relation, restarts int) error {
+		if idx == len(plan) {
+			top := state[l.Top]
+			if top != nil {
+				for _, t := range top.Rows() {
+					results.AddTuple(append(rel.Tuple{}, t...))
+				}
+			}
+			return nil
+		}
+		o := plan[idx]
+		switch o.kind {
+		case opProj:
+			ty := state[o.y]
+			if ty == nil {
+				return fmt.Errorf("csma: projection source %d not materialized", o.y)
+			}
+			ns := cloneState(state)
+			proj := ty.Project(l.Elems[o.x])
+			if prev := state[o.x]; prev != nil && o.x != l.Bottom {
+				proj = rel.Intersect(prev, proj)
+			}
+			ns[o.x] = proj
+			return exec(plan, idx+1, ns, restarts)
+
+		case opJoin:
+			ta, tb := state[o.x], state[o.y]
+			if ta == nil || tb == nil {
+				return fmt.Errorf("csma: join sources (%d,%d) not materialized", o.x, o.y)
+			}
+			z := l.Meet(o.x, o.y)
+			zVars := l.Elems[z]
+			// Partition T(B) into degree buckets over Z (Lemma 5.35).
+			buckets := degreeBuckets(tb, zVars)
+			for _, bk := range buckets {
+				st.Branches++
+				cost := float64(ta.Len()) * float64(bk.maxDeg)
+				if cost > budget && restarts < opts.MaxRestarts {
+					// Lemma 5.36: re-solve with observed constraints; the
+					// optimum drops, and we restart this branch.
+					st.Restarts++
+					if err := restartBranch(q, l, e, res.P, state, o, bk.table, z,
+						func(p2 []op, s2 []*rel.Relation) error {
+							return exec(p2, 0, s2, restarts+1)
+						}); err == nil {
+						continue
+					}
+					// Restart failed to tighten; fall through and join.
+					st.Overflows++
+				} else if cost > budget {
+					st.Overflows++
+				}
+				joined := rel.Join(ta, bk.table)
+				st.JoinTuples += joined.Len()
+				outTable := e.ExpandRelation(joined, l.Elems[o.out])
+				ns := cloneState(state)
+				if prev := state[o.out]; prev != nil {
+					outTable = rel.Intersect(prev, outTable)
+				}
+				ns[o.out] = outTable
+				ns[o.y] = bk.table
+				if err := exec(plan, idx+1, ns, restarts); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return nil
+	}
+	if err := exec(plan, 0, initState, 0); err != nil {
+		return nil, st, err
+	}
+
+	// Exact answer: semi-join reduce against every input, then FD-filter.
+	results.SortDedup()
+	out := results
+	for _, r := range q.Rels {
+		out = rel.Semijoin(out, r)
+	}
+	filtered := rel.New("Q", out.Attrs...)
+	vals := make([]rel.Value, q.K)
+	for _, t := range out.Rows() {
+		for i, v := range out.Attrs {
+			vals[v] = t[i]
+		}
+		if _, ok := e.Extend(vals, out.VarSet()); ok {
+			filtered.AddTuple(append(rel.Tuple{}, t...))
+		}
+	}
+	filtered.SortDedup()
+	return filtered, st, nil
+}
+
+// bucket is one degree class of a conditioned table.
+type bucket struct {
+	table  *rel.Relation
+	maxDeg int
+}
+
+// degreeBuckets partitions t by the power-of-two degree class of its
+// Z-value (Lemma 5.35): bucket j holds rows whose Z-value has degree in
+// [2^j, 2^{j+1}). With empty Z the whole table is one bucket.
+func degreeBuckets(t *rel.Relation, zVars varset.Set) []bucket {
+	if zVars.IsEmpty() || t.Len() == 0 {
+		return []bucket{{table: t, maxDeg: max(1, t.Len())}}
+	}
+	ix := t.IndexOn(zVars.Members()...)
+	zCols := make([]int, 0, zVars.Len())
+	for _, v := range zVars.Members() {
+		zCols = append(zCols, t.Col(v))
+	}
+	byClass := map[int]*rel.Relation{}
+	maxDeg := map[int]int{}
+	probe := make([]rel.Value, len(zCols))
+	for _, row := range t.Rows() {
+		for i, c := range zCols {
+			probe[i] = row[c]
+		}
+		deg := ix.Count(probe...)
+		cls := 0
+		for d := deg; d > 1; d >>= 1 {
+			cls++
+		}
+		b := byClass[cls]
+		if b == nil {
+			b = rel.New(t.Name, t.Attrs...)
+			byClass[cls] = b
+		}
+		b.AddTuple(append(rel.Tuple{}, row...))
+		if deg > maxDeg[cls] {
+			maxDeg[cls] = deg
+		}
+	}
+	out := make([]bucket, 0, len(byClass))
+	for cls, b := range byClass {
+		out = append(out, bucket{table: b, maxDeg: maxDeg[cls]})
+	}
+	return out
+}
+
+func cloneState(state []*rel.Relation) []*rel.Relation {
+	return append([]*rel.Relation(nil), state...)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// restartBranch re-solves the CLLP with the branch's observed cardinalities
+// and the offending degree bound added, rebuilds the plan, and re-executes
+// via cont. It returns an error when the optimum does not strictly drop
+// (no point restarting).
+func restartBranch(q *query.Q, l *lattice.Lattice, e *expand.Expander,
+	baseP []bounds.DegreePair, state []*rel.Relation, o op,
+	bucketTable *rel.Relation, z int,
+	cont func([]op, []*rel.Relation) error) error {
+
+	P := append([]bounds.DegreePair{}, baseP...)
+	for elem, t := range state {
+		if t == nil || elem == l.Bottom {
+			continue
+		}
+		P = append(P, bounds.DegreePair{X: l.Bottom, Y: elem, LogBound: query.LogRat(t.Len()), Guard: -1})
+	}
+	if z != o.y {
+		ix := bucketTable.IndexOn(l.Elems[z].Members()...)
+		md := ix.MaxDegree(l.Elems[z].Len())
+		if l.Lt(z, o.y) {
+			P = append(P, bounds.DegreePair{X: z, Y: o.y, LogBound: query.LogRat(md), Guard: -1})
+		}
+	}
+	res2 := bounds.CLLP(l, P)
+	if res2.LogBound == nil {
+		return fmt.Errorf("csma: restart CLLP unbounded")
+	}
+	plan2, err := buildPlan(l, res2)
+	if err != nil {
+		return err
+	}
+	ns := cloneState(state)
+	ns[o.y] = bucketTable
+	return cont(plan2, ns)
+}

@@ -1,0 +1,117 @@
+package csma
+
+import (
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/paper"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+func runAndCheck(t *testing.T, q *query.Q, what string) *Stats {
+	t.Helper()
+	out, st, err := Run(q, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	want := naive.Evaluate(q)
+	if !rel.Equal(out, want) {
+		t.Fatalf("%s: CSMA output %d tuples, naive %d", what, out.Len(), want.Len())
+	}
+	return st
+}
+
+func TestTriangle(t *testing.T) {
+	runAndCheck(t, paper.TriangleProduct(3), "product triangle")
+	for seed := int64(0); seed < 6; seed++ {
+		runAndCheck(t, paper.TriangleRandom(5, 18, seed), "random triangle")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	runAndCheck(t, paper.Fig1QuasiProduct(16), "Fig1 quasi-product")
+	runAndCheck(t, paper.Fig1Skew(16), "Fig1 skew")
+}
+
+func TestFig9(t *testing.T) {
+	// Example 5.31 continued: the query with no SM proof. CSMA must handle
+	// it — this is the paper's motivating case for the CSM rules.
+	q, _ := paper.Fig9Instance(9)
+	st := runAndCheck(t, q, "Fig9")
+	if st.PlanLen == 0 {
+		t.Fatal("plan should be non-trivial")
+	}
+}
+
+func TestFig9Larger(t *testing.T) {
+	q, _ := paper.Fig9Instance(25)
+	runAndCheck(t, q, "Fig9 n=25")
+}
+
+func TestFig4(t *testing.T) {
+	q, _ := paper.Fig4Instance(27)
+	runAndCheck(t, q, "Fig4")
+}
+
+func TestM3(t *testing.T) {
+	runAndCheck(t, paper.M3Instance(6), "M3")
+}
+
+func TestFig5(t *testing.T) {
+	runAndCheck(t, paper.Fig5Instance(5), "Fig5")
+}
+
+func TestDegreeTriangle(t *testing.T) {
+	// Degree bounds flow into the CLLP and the plan.
+	runAndCheck(t, paper.DegreeTriangle(32, 2), "degree triangle")
+	runAndCheck(t, paper.DegreeTriangle(32, 4), "degree triangle d=4")
+}
+
+func TestColoredTriangle(t *testing.T) {
+	runAndCheck(t, paper.ColoredTriangle(24, 2), "colored triangle")
+}
+
+func TestSimpleFDChain(t *testing.T) {
+	runAndCheck(t, paper.SimpleFDChain(4, 10), "simple FD chain")
+}
+
+func TestFourCycleWithKey(t *testing.T) {
+	runAndCheck(t, paper.FourCycleWithKey(8), "4-cycle with key")
+}
+
+func TestCompositeKey(t *testing.T) {
+	runAndCheck(t, paper.CompositeKey(4, 64), "composite key")
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := (&Options{}).withDefaults()
+	if o.Theta != 1.0 || o.MaxRestarts != 8 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	o2 := (&Options{Theta: 2.5, MaxRestarts: 3}).withDefaults()
+	if o2.Theta != 2.5 || o2.MaxRestarts != 3 {
+		t.Fatalf("overrides wrong: %+v", o2)
+	}
+}
+
+func TestDegreeBuckets(t *testing.T) {
+	r := rel.New("R", 0, 1)
+	// Value 1 has degree 4, value 2 degree 1: two buckets (classes 2, 0).
+	r.Add(1, 10)
+	r.Add(1, 11)
+	r.Add(1, 12)
+	r.Add(1, 13)
+	r.Add(2, 20)
+	bks := degreeBuckets(r, r.VarSet().Remove(1))
+	if len(bks) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(bks))
+	}
+	total := 0
+	for _, b := range bks {
+		total += b.table.Len()
+	}
+	if total != 5 {
+		t.Fatalf("buckets must partition the table, total %d", total)
+	}
+}

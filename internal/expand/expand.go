@@ -1,0 +1,198 @@
+// Package expand implements the Expansion Procedure of Sec. 2: extending a
+// tuple or relation over attributes X to the closure X⁺ by repeatedly
+// applying functional dependencies — joining with the guard projection for
+// guarded FDs, and evaluating the UDF for unguarded ones.
+package expand
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/varset"
+)
+
+// Value aliases the relational value type.
+type Value = rel.Value
+
+// guardLookup maps a From-key to the unique To-values within the guard
+// relation (uniqueness is the FD promise, validated by query.Validate).
+type guardLookup struct {
+	f       fd.FD
+	fromIdx []int // variable ids of From in ascending order
+	toIdx   []int
+	m       map[string][]Value
+}
+
+// Expander precomputes per-FD lookup structures for fast tuple expansion.
+type Expander struct {
+	q      *query.Q
+	guards []*guardLookup // one per guarded FD, parallel to usable FDs
+	fds    []fd.FD
+}
+
+// New builds an Expander for the query.
+func New(q *query.Q) *Expander {
+	e := &Expander{q: q}
+	for _, f := range q.FDs.FDs {
+		e.fds = append(e.fds, f)
+		if !f.Guarded() {
+			e.guards = append(e.guards, nil)
+			continue
+		}
+		g := q.Rels[f.Guard]
+		gl := &guardLookup{f: f, fromIdx: f.From.Members(), toIdx: f.To.Members()}
+		gl.m = make(map[string][]Value, g.Len())
+		fromCols := make([]int, len(gl.fromIdx))
+		for i, v := range gl.fromIdx {
+			fromCols[i] = g.Col(v)
+		}
+		toCols := make([]int, len(gl.toIdx))
+		for i, v := range gl.toIdx {
+			toCols[i] = g.Col(v)
+		}
+		for _, t := range g.Rows() {
+			k := keyOf(t, fromCols)
+			if _, ok := gl.m[k]; !ok {
+				vals := make([]Value, len(toCols))
+				for i, c := range toCols {
+					vals[i] = t[c]
+				}
+				gl.m[k] = vals
+			}
+		}
+		e.guards = append(e.guards, gl)
+	}
+	return e
+}
+
+func keyOf(t rel.Tuple, cs []int) string {
+	b := make([]byte, 0, len(cs)*8)
+	for _, c := range cs {
+		v := uint64(t[c])
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+func keyOfVals(vals []Value, vars []int) string {
+	b := make([]byte, 0, len(vars)*8)
+	for _, vv := range vars {
+		v := uint64(vals[vv])
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// Extend applies every applicable FD to the partial tuple vals (indexed by
+// variable id) until fixpoint. It both derives unbound variables and checks
+// consistency of bound ones. It returns the new bound set and false if the
+// tuple is inconsistent with some FD (it cannot appear in the output).
+func (e *Expander) Extend(vals []Value, have varset.Set) (varset.Set, bool) {
+	for changed := true; changed; {
+		changed = false
+		for i, f := range e.fds {
+			if !have.ContainsAll(f.From) || have.ContainsAll(f.To) && !f.Guarded() && f.Fns == nil {
+				continue
+			}
+			if !have.ContainsAll(f.From) {
+				continue
+			}
+			if gl := e.guards[i]; gl != nil {
+				tos, ok := gl.m[keyOfVals(vals, gl.fromIdx)]
+				if !ok {
+					// The From-combination never occurs in the guard; the
+					// tuple cannot be part of the output.
+					return have, false
+				}
+				for k, v := range gl.toIdx {
+					if have.Contains(v) {
+						if vals[v] != tos[k] {
+							return have, false
+						}
+					} else {
+						vals[v] = tos[k]
+						have = have.Add(v)
+						changed = true
+					}
+				}
+				continue
+			}
+			// Unguarded: use UDFs where available.
+			if f.Fns == nil {
+				continue
+			}
+			args := make([]Value, 0, f.From.Len())
+			for _, v := range f.From.Members() {
+				args = append(args, vals[v])
+			}
+			for _, v := range f.To.Members() {
+				fn := f.Fns[v]
+				if fn == nil {
+					continue
+				}
+				got := fn(args)
+				if have.Contains(v) {
+					if vals[v] != got {
+						return have, false
+					}
+				} else {
+					vals[v] = got
+					have = have.Add(v)
+					changed = true
+				}
+			}
+		}
+	}
+	return have, true
+}
+
+// ExpandTuple expands a tuple over vars `have` to cover target, returning
+// (extended values, ok). ok is false when the tuple is FD-inconsistent or
+// dropped by a guard. It panics if target is not derivable (a query error,
+// not a data condition).
+func (e *Expander) ExpandTuple(vals []Value, have, target varset.Set) (varset.Set, bool) {
+	have2, ok := e.Extend(vals, have)
+	if !ok {
+		return have2, false
+	}
+	if !have2.ContainsAll(target) {
+		panic(fmt.Sprintf("expand: target %v not derivable from %v (closure %v)",
+			target.Format(e.q.Names), have.Format(e.q.Names), have2.Format(e.q.Names)))
+	}
+	return have2, true
+}
+
+// ExpandRelation expands every tuple of r to the target variable set and
+// returns the result (dropping FD-inconsistent tuples), with attributes in
+// ascending variable order.
+func (e *Expander) ExpandRelation(r *rel.Relation, target varset.Set) *rel.Relation {
+	attrs := target.Members()
+	out := rel.New(r.Name+"+", attrs...)
+	vals := make([]Value, e.q.K)
+	for _, t := range r.Rows() {
+		for i, v := range r.Attrs {
+			vals[v] = t[i]
+		}
+		have, ok := e.ExpandTuple(vals, r.VarSet(), target)
+		if !ok {
+			continue
+		}
+		_ = have
+		nt := make(rel.Tuple, len(attrs))
+		for i, v := range attrs {
+			nt[i] = vals[v]
+		}
+		out.AddTuple(nt)
+	}
+	out.SortDedup()
+	return out
+}
+
+// ExpandToClosure expands r to the closure of its attributes.
+func (e *Expander) ExpandToClosure(r *rel.Relation) *rel.Relation {
+	return e.ExpandRelation(r, e.q.FDs.Closure(r.VarSet()))
+}

@@ -1,0 +1,92 @@
+package expand
+
+import (
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/rel"
+	"repro/internal/varset"
+)
+
+func TestExtendUDF(t *testing.T) {
+	q := paper.Fig1() // xz → u via f(x,z)=x; yu → x via g(y,u)=u
+	e := New(q)
+	vals := make([]Value, 4)
+	vals[0], vals[2] = 7, 3 // x=7, z=3
+	have, ok := e.Extend(vals, varset.Of(0, 2))
+	if !ok {
+		t.Fatal("extension should succeed")
+	}
+	if !have.Contains(3) || vals[3] != 7 {
+		t.Fatalf("u should become f(x,z)=x=7, got %v (have %v)", vals[3], have)
+	}
+}
+
+func TestExtendInconsistent(t *testing.T) {
+	q := paper.Fig1()
+	e := New(q)
+	vals := make([]Value, 4)
+	vals[0], vals[2], vals[3] = 7, 3, 9 // u=9 but f(x,z)=7
+	if _, ok := e.Extend(vals, varset.Of(0, 2, 3)); ok {
+		t.Fatal("inconsistent tuple must be rejected")
+	}
+}
+
+func TestExtendChained(t *testing.T) {
+	// Fig1: from {y,z,u}, yu→x fires, then xz→u must stay consistent.
+	q := paper.Fig1()
+	e := New(q)
+	vals := make([]Value, 4)
+	vals[1], vals[2], vals[3] = 1, 2, 5 // y,z,u; x := g(y,u) = u = 5; f(x,z)=5 = u ✓
+	have, ok := e.Extend(vals, varset.Of(1, 2, 3))
+	if !ok || !have.Contains(0) || vals[0] != 5 {
+		t.Fatalf("x should be derived as 5, got %v ok=%v", vals[0], ok)
+	}
+}
+
+func TestGuardedExpansion(t *testing.T) {
+	q := paper.FourCycleWithKey(4) // y → z guarded in S, with z = y
+	e := New(q)
+	vals := make([]Value, 4)
+	vals[1] = 2
+	have, ok := e.Extend(vals, varset.Of(1))
+	if !ok || !have.Contains(2) || vals[2] != 2 {
+		t.Fatalf("z should be looked up from S: got %v ok=%v", vals[2], ok)
+	}
+	// A y-value absent from S drops the tuple.
+	vals[1] = 99
+	if _, ok := e.Extend(vals, varset.Of(1)); ok {
+		t.Fatal("missing guard key must drop the tuple")
+	}
+}
+
+func TestExpandRelation(t *testing.T) {
+	q := paper.Fig1()
+	r := rel.New("R2", 0, 2) // over x, z
+	r.Add(1, 2)
+	r.Add(3, 4)
+	e := New(q)
+	out := e.ExpandToClosure(r)
+	// closure({x,z}) = {x,z,u}; u = x.
+	if out.VarSet() != varset.Of(0, 2, 3) {
+		t.Fatalf("expanded vars = %v", out.VarSet())
+	}
+	if out.Len() != 2 {
+		t.Fatalf("expanded len = %d", out.Len())
+	}
+	if out.Value(0, 3) != out.Value(0, 0) {
+		t.Fatal("u must equal x after expansion")
+	}
+}
+
+func TestExpandTuplePanicsOnUnderivable(t *testing.T) {
+	q := paper.Fig1()
+	e := New(q)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for underivable target")
+		}
+	}()
+	vals := make([]Value, 4)
+	e.ExpandTuple(vals, varset.Of(0), varset.Of(0, 1)) // y not derivable from x
+}

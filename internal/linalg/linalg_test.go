@@ -1,0 +1,171 @@
+package linalg
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveSquareIdentity(t *testing.T) {
+	A := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		A.SetInt(i, i, 1)
+	}
+	b := []*big.Rat{Int(4), Int(-2), Rat(1, 3)}
+	x, err := SolveSquare(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i].Cmp(b[i]) != 0 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveSquare2x2(t *testing.T) {
+	// 2x + y = 5; x - y = 1  =>  x = 2, y = 1
+	A := NewMatrix(2, 2)
+	A.SetInt(0, 0, 2)
+	A.SetInt(0, 1, 1)
+	A.SetInt(1, 0, 1)
+	A.SetInt(1, 1, -1)
+	x, err := SolveSquare(A, []*big.Rat{Int(5), Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(Int(2)) != 0 || x[1].Cmp(Int(1)) != 0 {
+		t.Fatalf("got %v, %v", x[0], x[1])
+	}
+}
+
+func TestSolveSquareNeedsPivot(t *testing.T) {
+	// First pivot entry is zero; requires a row swap.
+	A := NewMatrix(2, 2)
+	A.SetInt(0, 0, 0)
+	A.SetInt(0, 1, 1)
+	A.SetInt(1, 0, 1)
+	A.SetInt(1, 1, 0)
+	x, err := SolveSquare(A, []*big.Rat{Int(7), Int(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(Int(3)) != 0 || x[1].Cmp(Int(7)) != 0 {
+		t.Fatalf("got %v, %v", x[0], x[1])
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	A := NewMatrix(2, 2)
+	A.SetInt(0, 0, 1)
+	A.SetInt(0, 1, 2)
+	A.SetInt(1, 0, 2)
+	A.SetInt(1, 1, 4)
+	if _, err := SolveSquare(A, []*big.Rat{Int(1), Int(2)}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveSquareShapeMismatch(t *testing.T) {
+	A := NewMatrix(2, 3)
+	if _, err := SolveSquare(A, ZeroVec(2)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestRank(t *testing.T) {
+	A := NewMatrix(3, 3)
+	A.SetInt(0, 0, 1)
+	A.SetInt(1, 1, 1)
+	if Rank(A) != 2 {
+		t.Fatalf("rank = %d, want 2", Rank(A))
+	}
+	A.SetInt(2, 2, 5)
+	if Rank(A) != 3 {
+		t.Fatalf("rank = %d, want 3", Rank(A))
+	}
+	Z := NewMatrix(4, 2)
+	if Rank(Z) != 0 {
+		t.Fatal("zero matrix should have rank 0")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []*big.Rat{Int(1), Rat(1, 2)}
+	b := []*big.Rat{Int(4), Int(6)}
+	if got := Dot(a, b); got.Cmp(Int(7)) != 0 {
+		t.Fatalf("Dot = %v, want 7", got)
+	}
+}
+
+// Random invertible systems: verify A·x = b holds exactly.
+func TestSolveSquareRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		A := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				A.SetInt(i, j, int64(rng.Intn(11)-5))
+			}
+		}
+		b := make([]*big.Rat, n)
+		for i := range b {
+			b[i] = Int(int64(rng.Intn(21) - 10))
+		}
+		x, err := SolveSquare(A, b)
+		if err != nil {
+			continue // singular draw; skip
+		}
+		// Check A·x = b exactly.
+		for i := 0; i < n; i++ {
+			row := make([]*big.Rat, n)
+			for j := 0; j < n; j++ {
+				row[j] = A.At(i, j)
+			}
+			if Dot(row, x).Cmp(b[i]) != 0 {
+				t.Fatalf("trial %d: residual in row %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestVerticesUnitSimplexCover(t *testing.T) {
+	// Polytope {w ≥ 0 : w1 + w2 ≥ 1} in R^2 has vertices (1,0), (0,1).
+	A := NewMatrix(1, 2)
+	A.SetInt(0, 0, 1)
+	A.SetInt(0, 1, 1)
+	p := &Polytope{A: A, B: []*big.Rat{Int(1)}}
+	vs := p.Vertices()
+	if len(vs) != 2 {
+		t.Fatalf("got %d vertices, want 2: %v", len(vs), vs)
+	}
+}
+
+func TestVerticesTriangleCoverPolytope(t *testing.T) {
+	// Edge cover polytope of the triangle query: 3 edges xy, yz, zx covering
+	// 3 nodes. Constraints: w_xy+w_zx ≥ 1 (node x), w_xy+w_yz ≥ 1 (node y),
+	// w_yz+w_zx ≥ 1 (node z). Paper Sec. 2 lists the vertices:
+	// (1/2,1/2,1/2), (1,1,0), (1,0,1), (0,1,1).
+	A := NewMatrix(3, 3)
+	A.SetInt(0, 0, 1)
+	A.SetInt(0, 2, 1)
+	A.SetInt(1, 0, 1)
+	A.SetInt(1, 1, 1)
+	A.SetInt(2, 1, 1)
+	A.SetInt(2, 2, 1)
+	p := &Polytope{A: A, B: []*big.Rat{Int(1), Int(1), Int(1)}}
+	vs := p.Vertices()
+	if len(vs) != 4 {
+		t.Fatalf("got %d vertices, want 4", len(vs))
+	}
+	foundHalf := false
+	for _, v := range vs {
+		if v[0].Cmp(Rat(1, 2)) == 0 && v[1].Cmp(Rat(1, 2)) == 0 && v[2].Cmp(Rat(1, 2)) == 0 {
+			foundHalf = true
+		}
+	}
+	if !foundHalf {
+		t.Fatal("missing vertex (1/2,1/2,1/2)")
+	}
+}

@@ -1,0 +1,98 @@
+package linalg
+
+import "math/big"
+
+// Polytope represents {x ∈ R^n : A·x ≥ b, x ≥ 0} — the natural shape of a
+// fractional edge cover polytope.
+type Polytope struct {
+	A *Matrix    // m×n constraint matrix
+	B []*big.Rat // length m
+}
+
+// Vertices enumerates the vertices of the polytope by considering every
+// choice of n tight constraints (from the m inequality rows and the n
+// non-negativity rows), solving the resulting square system, and keeping
+// feasible solutions. Duplicate vertices are removed.
+//
+// The procedure is exponential in n and intended only for the small covers
+// polytopes of the paper's lattices (n = number of hyperedges ≤ ~8).
+func (p *Polytope) Vertices() [][]*big.Rat {
+	n := p.A.Cols
+	m := p.A.Rows
+	total := m + n // candidate tight rows: m constraints plus n axes
+	var verts [][]*big.Rat
+	seen := map[string]bool{}
+
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			v := p.trySystem(idx)
+			if v == nil {
+				return
+			}
+			key := vecKey(v)
+			if !seen[key] {
+				seen[key] = true
+				verts = append(verts, v)
+			}
+			return
+		}
+		for i := start; i < total; i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return verts
+}
+
+// trySystem solves the system defined by the chosen tight rows and returns
+// the solution if it is a feasible point of the polytope, else nil.
+func (p *Polytope) trySystem(rows []int) []*big.Rat {
+	n := p.A.Cols
+	m := p.A.Rows
+	S := NewMatrix(n, n)
+	b := ZeroVec(n)
+	for k, r := range rows {
+		if r < m {
+			for j := 0; j < n; j++ {
+				S.Set(k, j, p.A.At(r, j))
+			}
+			b[k].Set(p.B[r])
+		} else {
+			// axis constraint x_{r-m} = 0
+			S.SetInt(k, r-m, 1)
+		}
+	}
+	x, err := SolveSquare(S, b)
+	if err != nil {
+		return nil
+	}
+	// Feasibility: x ≥ 0 and A·x ≥ b.
+	for _, xi := range x {
+		if xi.Sign() < 0 {
+			return nil
+		}
+	}
+	t := new(big.Rat)
+	for i := 0; i < m; i++ {
+		sum := new(big.Rat)
+		for j := 0; j < n; j++ {
+			t.Mul(p.A.At(i, j), x[j])
+			sum.Add(sum, t)
+		}
+		if sum.Cmp(p.B[i]) < 0 {
+			return nil
+		}
+	}
+	return x
+}
+
+func vecKey(v []*big.Rat) string {
+	s := ""
+	for _, x := range v {
+		s += x.RatString() + "|"
+	}
+	return s
+}

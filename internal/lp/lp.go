@@ -1,0 +1,475 @@
+// Package lp implements an exact rational linear-program solver: a two-phase
+// primal simplex over math/big.Rat with Bland's anti-cycling rule.
+//
+// All linear programs in this repository — the lattice linear program (LLP,
+// Eq. 5 of the paper), its dual (Eq. 8), the conditional LLP (Sec. 5.3.1),
+// and fractional edge cover / vertex packing programs — are tiny (tens of
+// variables and constraints), so a dense exact-arithmetic simplex is both
+// fast enough and, crucially, yields the exact rational vertex solutions
+// (w_j = q_j / d) that the SM and CSM proof-sequence constructions require.
+//
+// Dual values are extracted from the final tableau. Conventions: for a
+// maximization problem, the returned dual y satisfies objective = b·y with
+// y_i ≥ 0 on ≤ rows, y_i ≤ 0 on ≥ rows, free on = rows. For a minimization
+// problem the signs flip (y_i ≤ 0 on ≤ rows, y_i ≥ 0 on ≥ rows).
+package lp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rel is the relation of a constraint row.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Status describes the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "unbounded"
+	}
+}
+
+// Constraint is a single linear constraint Σ Coef[j]·x_j  Rel  RHS.
+// Coef entries may be nil, meaning zero.
+type Constraint struct {
+	Coef []*big.Rat
+	Rel  Rel
+	RHS  *big.Rat
+}
+
+// Problem is a linear program over variables x_0..x_{NumVars-1} ≥ 0.
+type Problem struct {
+	Maximize bool
+	NumVars  int
+	Obj      []*big.Rat // objective coefficients; nil entries mean zero
+	Cons     []Constraint
+}
+
+// NewProblem creates an empty problem with n non-negative variables.
+func NewProblem(n int, maximize bool) *Problem {
+	return &Problem{Maximize: maximize, NumVars: n, Obj: make([]*big.Rat, n)}
+}
+
+// SetObj sets the objective coefficient of variable j.
+func (p *Problem) SetObj(j int, c *big.Rat) {
+	p.Obj[j] = new(big.Rat).Set(c)
+}
+
+// Term is a (variable, coefficient) pair for sparse constraint construction.
+type Term struct {
+	Var  int
+	Coef *big.Rat
+}
+
+// T is shorthand for building a Term with an integer coefficient.
+func T(v int, c int64) Term { return Term{Var: v, Coef: new(big.Rat).SetInt64(c)} }
+
+// TR is shorthand for building a Term with a rational coefficient.
+func TR(v int, c *big.Rat) Term { return Term{Var: v, Coef: new(big.Rat).Set(c)} }
+
+// Add appends a constraint built from sparse terms. Repeated variables
+// accumulate.
+func (p *Problem) Add(rel Rel, rhs *big.Rat, terms ...Term) {
+	coef := make([]*big.Rat, p.NumVars)
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.NumVars {
+			panic(fmt.Sprintf("lp: term variable %d out of range [0,%d)", t.Var, p.NumVars))
+		}
+		if coef[t.Var] == nil {
+			coef[t.Var] = new(big.Rat)
+		}
+		coef[t.Var].Add(coef[t.Var], t.Coef)
+	}
+	p.Cons = append(p.Cons, Constraint{Coef: coef, Rel: rel, RHS: new(big.Rat).Set(rhs)})
+}
+
+// AddDense appends a constraint with a dense coefficient row (copied).
+func (p *Problem) AddDense(rel Rel, rhs *big.Rat, coef []*big.Rat) {
+	c := make([]*big.Rat, p.NumVars)
+	for j := range coef {
+		if coef[j] != nil {
+			c[j] = new(big.Rat).Set(coef[j])
+		}
+	}
+	p.Cons = append(p.Cons, Constraint{Coef: c, Rel: rel, RHS: new(big.Rat).Set(rhs)})
+}
+
+// Solution holds the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective *big.Rat   // meaningful only when Status == Optimal
+	X         []*big.Rat // primal values, length NumVars
+	Y         []*big.Rat // dual values per constraint (see package comment)
+}
+
+// tableau is the internal dense simplex state, always a minimization
+// min c̃·x over equality rows with RHS ≥ 0.
+type tableau struct {
+	m, n     int          // rows, total columns (structural + slack + artificial)
+	nStruct  int          // number of structural (original) variables
+	a        [][]*big.Rat // m×n coefficient matrix, mutated by pivots
+	b        []*big.Rat   // RHS, length m, kept ≥ 0
+	basis    []int        // basic variable per row
+	artStart int          // columns ≥ artStart are artificial
+	initCol  []int        // per original row: column of the initial basis var
+	sigma    []int        // per original row: +1 if stored as-is, -1 if negated
+}
+
+// Solve runs the two-phase simplex and returns an optimal solution with
+// primal and dual values, or an Infeasible/Unbounded status.
+func Solve(p *Problem) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return nil, fmt.Errorf("lp: problem has no variables")
+	}
+	for _, c := range p.Cons {
+		if len(c.Coef) != p.NumVars {
+			return nil, fmt.Errorf("lp: constraint coefficient length %d != NumVars %d", len(c.Coef), p.NumVars)
+		}
+	}
+	// Internally minimize c̃ = -Obj for maximization, +Obj for minimization.
+	ctil := make([]*big.Rat, p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		ctil[j] = new(big.Rat)
+		if p.Obj[j] != nil {
+			if p.Maximize {
+				ctil[j].Neg(p.Obj[j])
+			} else {
+				ctil[j].Set(p.Obj[j])
+			}
+		}
+	}
+
+	t := buildTableau(p)
+
+	// Phase 1: minimize the sum of artificials, if any exist.
+	if t.artStart < t.n {
+		phase1 := make([]*big.Rat, t.n)
+		for j := range phase1 {
+			phase1[j] = new(big.Rat)
+			if j >= t.artStart {
+				phase1[j].SetInt64(1)
+			}
+		}
+		if status := t.run(phase1, false); status == Unbounded {
+			return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+		}
+		// Infeasible if any artificial is basic with positive value.
+		obj := new(big.Rat)
+		for i, bi := range t.basis {
+			if bi >= t.artStart {
+				obj.Add(obj, t.b[i])
+			}
+		}
+		if obj.Sign() > 0 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.driveOutArtificials()
+	}
+
+	// Phase 2: minimize c̃ over structural variables (artificials barred).
+	cost := make([]*big.Rat, t.n)
+	for j := range cost {
+		cost[j] = new(big.Rat)
+		if j < t.nStruct {
+			cost[j].Set(ctil[j])
+		}
+	}
+	if status := t.run(cost, true); status == Unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	return t.extract(p, cost)
+}
+
+// buildTableau converts the problem to standard equality form with RHS ≥ 0.
+func buildTableau(p *Problem) *tableau {
+	m := len(p.Cons)
+	n := p.NumVars
+
+	// Count slack/surplus and artificial columns.
+	nSlack, nArt := 0, 0
+	for _, c := range p.Cons {
+		neg := c.RHS.Sign() < 0
+		rel := c.Rel
+		if neg {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++ // slack is the initial basis
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	t := &tableau{
+		m: m, n: total, nStruct: n,
+		a:        make([][]*big.Rat, m),
+		b:        make([]*big.Rat, m),
+		basis:    make([]int, m),
+		artStart: n + nSlack,
+		initCol:  make([]int, m),
+		sigma:    make([]int, m),
+	}
+	slackCol := n
+	artCol := n + nSlack
+	for i, c := range p.Cons {
+		row := make([]*big.Rat, total)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		sigma := 1
+		rhs := new(big.Rat).Set(c.RHS)
+		if rhs.Sign() < 0 {
+			sigma = -1
+			rhs.Neg(rhs)
+		}
+		for j := 0; j < n; j++ {
+			if c.Coef[j] != nil {
+				row[j].Set(c.Coef[j])
+				if sigma < 0 {
+					row[j].Neg(row[j])
+				}
+			}
+		}
+		rel := c.Rel
+		if sigma < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			row[slackCol].SetInt64(1)
+			t.basis[i] = slackCol
+			t.initCol[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol].SetInt64(-1)
+			slackCol++
+			row[artCol].SetInt64(1)
+			t.basis[i] = artCol
+			t.initCol[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol].SetInt64(1)
+			t.basis[i] = artCol
+			t.initCol[i] = artCol
+			artCol++
+		}
+		t.sigma[i] = sigma
+		t.a[i] = row
+		t.b[i] = rhs
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// run performs simplex iterations minimizing the given cost vector, using
+// Bland's rule. If barArtificials is true, artificial columns never enter.
+func (t *tableau) run(cost []*big.Rat, barArtificials bool) Status {
+	for {
+		col := t.entering(cost, barArtificials)
+		if col < 0 {
+			return Optimal
+		}
+		row := t.leaving(col)
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// entering returns the smallest-index column with negative reduced cost, or
+// -1 if none (Bland's rule).
+func (t *tableau) entering(cost []*big.Rat, barArtificials bool) int {
+	// reduced cost c̄_j = cost_j − Σ_i cost_{basis[i]}·a[i][j]
+	rc := new(big.Rat)
+	tmp := new(big.Rat)
+	for j := 0; j < t.n; j++ {
+		if barArtificials && j >= t.artStart {
+			continue
+		}
+		if t.isBasic(j) {
+			continue
+		}
+		rc.Set(cost[j])
+		for i := 0; i < t.m; i++ {
+			cb := cost[t.basis[i]]
+			if cb.Sign() == 0 || t.a[i][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(cb, t.a[i][j])
+			rc.Sub(rc, tmp)
+		}
+		if rc.Sign() < 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, b := range t.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// leaving returns the minimum-ratio row for the entering column, breaking
+// ties by the smallest basic-variable index (Bland). Returns -1 when the
+// column is unbounded below.
+func (t *tableau) leaving(col int) int {
+	best := -1
+	ratio := new(big.Rat)
+	bestRatio := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if t.a[i][col].Sign() <= 0 {
+			continue
+		}
+		ratio.Quo(t.b[i], t.a[i][col])
+		if best < 0 || ratio.Cmp(bestRatio) < 0 ||
+			(ratio.Cmp(bestRatio) == 0 && t.basis[i] < t.basis[best]) {
+			best = i
+			bestRatio.Set(ratio)
+		}
+	}
+	return best
+}
+
+// pivot performs a full-tableau pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	inv := new(big.Rat).Inv(t.a[row][col])
+	for j := 0; j < t.n; j++ {
+		t.a[row][j].Mul(t.a[row][j], inv)
+	}
+	t.b[row].Mul(t.b[row], inv)
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == row || t.a[i][col].Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(t.a[i][col])
+		for j := 0; j < t.n; j++ {
+			if t.a[row][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f, t.a[row][j])
+			t.a[i][j].Sub(t.a[i][j], tmp)
+		}
+		tmp.Mul(f, t.b[row])
+		t.b[i].Sub(t.b[i], tmp)
+	}
+	t.basis[row] = col
+}
+
+// driveOutArtificials pivots basic artificial variables (necessarily at
+// value zero after a feasible phase 1) out of the basis where possible.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if !t.isBasic(j) && t.a[i][j].Sign() != 0 {
+				t.pivot(i, j)
+				break
+			}
+		}
+		// If no pivot column exists the row is redundant; the artificial
+		// stays basic at value 0, which is harmless since phase 2 bars
+		// artificials from entering and the row never changes the solution.
+	}
+}
+
+// extract reads the primal solution, objective, and duals from the final
+// tableau.
+func (t *tableau) extract(p *Problem, cost []*big.Rat) (*Solution, error) {
+	x := make([]*big.Rat, p.NumVars)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i, bi := range t.basis {
+		if bi < p.NumVars {
+			x[bi].Set(t.b[i])
+		}
+	}
+	obj := new(big.Rat)
+	tmp := new(big.Rat)
+	for j := 0; j < p.NumVars; j++ {
+		if p.Obj[j] != nil && x[j].Sign() != 0 {
+			tmp.Mul(p.Obj[j], x[j])
+			obj.Add(obj, tmp)
+		}
+	}
+
+	// Duals: ŷ_i = Σ_r cost[basis[r]]·a[r][initCol[i]] (= c̃_B·B⁻¹ e_i),
+	// then y_i = -σ_i·ŷ_i in the max convention; negate again for min.
+	y := make([]*big.Rat, t.m)
+	for i := 0; i < t.m; i++ {
+		yi := new(big.Rat)
+		col := t.initCol[i]
+		for r := 0; r < t.m; r++ {
+			cb := cost[t.basis[r]]
+			if cb.Sign() == 0 || t.a[r][col].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(cb, t.a[r][col])
+			yi.Add(yi, tmp)
+		}
+		if t.sigma[i] > 0 {
+			yi.Neg(yi)
+		}
+		if !p.Maximize {
+			yi.Neg(yi)
+		}
+		y[i] = yi
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Y: y}, nil
+}

@@ -1,0 +1,91 @@
+package naive
+
+import (
+	"testing"
+
+	"repro/internal/paper"
+)
+
+func TestTriangleProduct(t *testing.T) {
+	q := paper.TriangleProduct(3)
+	out := Evaluate(q)
+	if out.Len() != 27 {
+		t.Fatalf("product triangle output = %d, want 27", out.Len())
+	}
+}
+
+func TestFig1QuasiProductSize(t *testing.T) {
+	// Example 5.5: output is {(i,j,k,i)} of size N^{3/2} = m³ for m = √N.
+	q := paper.Fig1QuasiProduct(16) // m = 4
+	out := Evaluate(q)
+	if out.Len() != 64 {
+		t.Fatalf("Fig1 quasi-product output = %d, want 64", out.Len())
+	}
+	// Every tuple satisfies u = x.
+	for _, tu := range out.Rows() {
+		if tu[0] != tu[3] {
+			t.Fatalf("tuple %v violates u = f(x,z) = x", tu)
+		}
+	}
+}
+
+func TestM3InstanceSize(t *testing.T) {
+	// Sec. 3.2: {(i,j,k) : i+j+k ≡ 0 mod N} has N² tuples.
+	q := paper.M3Instance(5)
+	out := Evaluate(q)
+	if out.Len() != 25 {
+		t.Fatalf("M3 output = %d, want 25", out.Len())
+	}
+	for _, tu := range out.Rows() {
+		if (tu[0]+tu[1]+tu[2])%5 != 0 {
+			t.Fatalf("tuple %v violates the mod constraint", tu)
+		}
+	}
+}
+
+func TestFig4InstanceSize(t *testing.T) {
+	// Worst case: m⁴ output tuples with m = n^{1/3}.
+	q, m := paper.Fig4Instance(27) // m = 3
+	out := Evaluate(q)
+	if want := m * m * m * m; out.Len() != want {
+		t.Fatalf("Fig4 output = %d, want %d", out.Len(), want)
+	}
+}
+
+func TestFig9InstanceSize(t *testing.T) {
+	// |Q| = m³ = N^{3/2}.
+	q, m := paper.Fig9Instance(16) // m = 4
+	out := Evaluate(q)
+	if want := m * m * m; out.Len() != want {
+		t.Fatalf("Fig9 output = %d, want %d", out.Len(), want)
+	}
+}
+
+func TestFig5InstanceSize(t *testing.T) {
+	q := paper.Fig5Instance(6)
+	out := Evaluate(q)
+	if out.Len() != 36 {
+		t.Fatalf("Fig5 output = %d, want 36", out.Len())
+	}
+}
+
+func TestValidateInstances(t *testing.T) {
+	qs := map[string]interface{ Validate() error }{}
+	q1 := paper.Fig1QuasiProduct(16)
+	q2 := paper.M3Instance(5)
+	q3, _ := paper.Fig4Instance(27)
+	q4, _ := paper.Fig9Instance(16)
+	q5 := paper.ColoredTriangle(32, 2)
+	q6 := paper.DegreeTriangle(32, 2)
+	qs["fig1"] = q1
+	qs["m3"] = q2
+	qs["fig4"] = q3
+	qs["fig9"] = q4
+	qs["colored"] = q5
+	qs["degree"] = q6
+	for name, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package query represents full conjunctive queries with functional
+// dependencies and optional degree bounds (Sec. 2 and 5.3 of the paper),
+// bundling the schema, the FD set, and the database instance, and exposing
+// the lattice representation (Sec. 3.1).
+package query
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/fd"
+	"repro/internal/lattice"
+	"repro/internal/rel"
+	"repro/internal/varset"
+)
+
+// DegreeBound is a prescribed maximum degree: for each tuple over X, at most
+// MaxDegree distinct extensions to Y exist in the guard relation
+// (hY|X ≤ log2 MaxDegree in the CLLP). X ⊂ Y must hold.
+type DegreeBound struct {
+	X, Y      varset.Set
+	MaxDegree int
+	Guard     int // index of the relation guarding the bound
+}
+
+// Q is a query with functional dependencies over variables 0..K-1, together
+// with its database instance (one rel.Relation per input).
+type Q struct {
+	Names        []string // variable names, length K
+	K            int
+	FDs          *fd.Set
+	Rels         []*rel.Relation
+	DegreeBounds []DegreeBound
+
+	lat *lattice.Lattice
+}
+
+// New creates a query over the given variable names with an empty FD set.
+func New(names ...string) *Q {
+	return &Q{Names: names, K: len(names), FDs: fd.NewSet(len(names))}
+}
+
+// AddRel registers an input relation and returns its index.
+func (q *Q) AddRel(r *rel.Relation) int {
+	u := varset.Universe(q.K)
+	if !u.ContainsAll(r.VarSet()) {
+		panic(fmt.Sprintf("query: relation %s mentions unknown variables", r.Name))
+	}
+	q.Rels = append(q.Rels, r)
+	q.lat = nil
+	return len(q.Rels) - 1
+}
+
+// AddDegreeBound registers a degree-bound constraint.
+func (q *Q) AddDegreeBound(x, y varset.Set, maxDegree, guard int) {
+	if !y.ContainsAll(x) || x == y {
+		panic("query: degree bound needs X ⊂ Y")
+	}
+	q.DegreeBounds = append(q.DegreeBounds, DegreeBound{X: x, Y: y, MaxDegree: maxDegree, Guard: guard})
+}
+
+// Var returns the variable index of a name, or -1.
+func (q *Q) Var(name string) int {
+	for i, n := range q.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Vars builds a varset from variable names; it panics on unknown names.
+func (q *Q) Vars(names ...string) varset.Set {
+	var s varset.Set
+	for _, n := range names {
+		v := q.Var(n)
+		if v < 0 {
+			panic(fmt.Sprintf("query: unknown variable %q", n))
+		}
+		s = s.Add(v)
+	}
+	return s
+}
+
+// AllVars returns the query's full variable set.
+func (q *Q) AllVars() varset.Set { return varset.Universe(q.K) }
+
+// Lattice returns (building and caching on first use) the lattice of closed
+// sets of the query's FDs.
+func (q *Q) Lattice() *lattice.Lattice {
+	if q.lat == nil {
+		q.lat = lattice.New(q.K, q.FDs.Closure)
+	}
+	return q.lat
+}
+
+// InputElems returns the lattice indices of the closures of the inputs'
+// variable sets (the set R of the lattice presentation (L, R)). Duplicate
+// lattice elements are preserved positionally (one entry per relation).
+func (q *Q) InputElems() []int {
+	l := q.Lattice()
+	out := make([]int, len(q.Rels))
+	for j, r := range q.Rels {
+		out[j] = l.IndexOfClosure(r.VarSet())
+	}
+	return out
+}
+
+// LogSizes returns n_j = log2 |R_j| per relation, as exact rationals
+// converted from float64 (empty relations get 0).
+func (q *Q) LogSizes() []*big.Rat {
+	out := make([]*big.Rat, len(q.Rels))
+	for j, r := range q.Rels {
+		out[j] = LogRat(r.Len())
+	}
+	return out
+}
+
+// LogRat converts log2(n) to a big.Rat (0 for n ≤ 1).
+func LogRat(n int) *big.Rat {
+	if n <= 1 {
+		return new(big.Rat)
+	}
+	r := new(big.Rat).SetFloat64(math.Log2(float64(n)))
+	if r == nil {
+		panic("query: log size not representable")
+	}
+	return r
+}
+
+// TotalSize returns N = Σ_j |R_j|.
+func (q *Q) TotalSize() int {
+	n := 0
+	for _, r := range q.Rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// CoveredVars returns the variables appearing in some input relation.
+// Variables outside this set must be reachable through FD expansion.
+func (q *Q) CoveredVars() varset.Set {
+	var s varset.Set
+	for _, r := range q.Rels {
+		s = s.Union(r.VarSet())
+	}
+	return s
+}
+
+// Validate checks structural well-formedness: every variable is covered by
+// an input or derivable by expansion from covered variables, guarded FDs
+// point at relations that contain their variables and whose instances
+// satisfy them, and unguarded FDs that could be needed for expansion carry
+// UDFs.
+func (q *Q) Validate() error {
+	cov := q.CoveredVars()
+	if q.FDs.Closure(cov) != q.AllVars() {
+		return fmt.Errorf("query: variables %v are neither covered nor derivable",
+			q.AllVars().Diff(q.FDs.Closure(cov)).Format(q.Names))
+	}
+	for _, f := range q.FDs.FDs {
+		if !f.Guarded() {
+			continue
+		}
+		if f.Guard >= len(q.Rels) {
+			return fmt.Errorf("query: FD %s guarded by missing relation %d", f.Format(q.Names), f.Guard)
+		}
+		g := q.Rels[f.Guard]
+		if !g.VarSet().ContainsAll(f.From.Union(f.To)) {
+			return fmt.Errorf("query: FD %s not contained in guard %s", f.Format(q.Names), g.Name)
+		}
+		if err := checkFDHolds(g, f); err != nil {
+			return err
+		}
+	}
+	for _, d := range q.DegreeBounds {
+		if d.Guard < 0 || d.Guard >= len(q.Rels) {
+			return fmt.Errorf("query: degree bound has invalid guard %d", d.Guard)
+		}
+		g := q.Rels[d.Guard]
+		if !g.VarSet().ContainsAll(d.Y) {
+			return fmt.Errorf("query: degree bound Y ⊄ guard %s", g.Name)
+		}
+		ix := g.IndexOn(d.X.Members()...)
+		proj := g.Project(d.Y)
+		pix := proj.IndexOn(d.X.Members()...)
+		if got := pix.MaxDegree(d.X.Len()); got > d.MaxDegree {
+			return fmt.Errorf("query: degree bound %d violated by %s (max degree %d)", d.MaxDegree, g.Name, got)
+		}
+		_ = ix
+	}
+	return nil
+}
+
+func checkFDHolds(g *rel.Relation, f fd.FD) error {
+	fromCols := cols(g, f.From)
+	toCols := cols(g, f.To)
+	seen := map[string]string{}
+	for _, t := range g.Rows() {
+		k := keyOf(t, fromCols)
+		v := keyOf(t, toCols)
+		if prev, ok := seen[k]; ok && prev != v {
+			return fmt.Errorf("query: relation %s violates FD %v->%v", g.Name, f.From, f.To)
+		}
+		seen[k] = v
+	}
+	return nil
+}
+
+func cols(g *rel.Relation, vars varset.Set) []int {
+	var out []int
+	for _, v := range vars.Members() {
+		out = append(out, g.Col(v))
+	}
+	return out
+}
+
+func keyOf(t rel.Tuple, cs []int) string {
+	b := make([]byte, 0, len(cs)*8)
+	for _, c := range cs {
+		v := uint64(t[c])
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// WithFreshRels returns a shallow copy of q with the given relations
+// substituted (same schema positions); used to re-run a query shape on a
+// different instance.
+func (q *Q) WithFreshRels(rels []*rel.Relation) *Q {
+	if len(rels) != len(q.Rels) {
+		panic("query: relation count mismatch")
+	}
+	c := *q
+	c.Rels = rels
+	return &c
+}

@@ -1,0 +1,201 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/varset"
+)
+
+func TestVarsAndNames(t *testing.T) {
+	q := New("x", "y", "z")
+	if q.K != 3 || q.Var("y") != 1 || q.Var("nope") != -1 {
+		t.Fatal("variable lookup wrong")
+	}
+	if q.Vars("x", "z") != varset.Of(0, 2) {
+		t.Fatal("Vars wrong")
+	}
+}
+
+func TestVarsPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("x").Vars("q")
+}
+
+func TestAddRelRejectsUnknownVars(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q := New("x")
+	q.AddRel(rel.New("R", 0, 5))
+}
+
+func TestLatticeCaching(t *testing.T) {
+	q := New("x", "y")
+	q.AddRel(rel.New("R", 0, 1))
+	l1 := q.Lattice()
+	if l1 != q.Lattice() {
+		t.Fatal("lattice should be cached")
+	}
+	q.AddRel(rel.New("S", 0)) // invalidates cache
+	if l1 == q.Lattice() && q.lat == l1 {
+		t.Fatal("cache should be invalidated by AddRel")
+	}
+}
+
+func TestValidateCoverage(t *testing.T) {
+	q := New("x", "y")
+	q.AddRel(rel.New("R", 0))
+	if err := q.Validate(); err == nil {
+		t.Fatal("y is uncovered and non-derivable: Validate must fail")
+	}
+	// With an FD x→y it becomes derivable.
+	q.FDs.AddUDF(varset.Of(0), 1, func(a []int64) int64 { return a[0] })
+	q.lat = nil
+	if err := q.Validate(); err != nil {
+		t.Fatalf("derivable variable should validate: %v", err)
+	}
+}
+
+func TestValidateGuardedFDViolation(t *testing.T) {
+	q := New("x", "y")
+	r := rel.New("R", 0, 1)
+	r.Add(1, 1)
+	r.Add(1, 2) // violates x → y
+	q.AddRel(r)
+	q.FDs.AddGuarded(varset.Of(0), varset.Of(1), 0)
+	if err := q.Validate(); err == nil {
+		t.Fatal("FD violation must be detected")
+	}
+}
+
+func TestValidateDegreeBound(t *testing.T) {
+	q := New("x", "y")
+	r := rel.New("R", 0, 1)
+	r.Add(1, 1)
+	r.Add(1, 2)
+	r.Add(1, 3)
+	q.AddRel(r)
+	q.AddDegreeBound(varset.Of(0), varset.Of(0, 1), 2, 0)
+	if err := q.Validate(); err == nil {
+		t.Fatal("degree bound 2 violated by degree 3: must fail")
+	}
+	q.DegreeBounds[0].MaxDegree = 3
+	if err := q.Validate(); err != nil {
+		t.Fatalf("degree 3 bound should pass: %v", err)
+	}
+}
+
+func TestLogSizes(t *testing.T) {
+	q := New("x")
+	r := rel.New("R", 0)
+	for i := 0; i < 8; i++ {
+		r.Add(int64(i))
+	}
+	q.AddRel(r)
+	f, _ := q.LogSizes()[0].Float64()
+	if f != 3 {
+		t.Fatalf("log2 8 = %v", f)
+	}
+	if LogRat(0).Sign() != 0 || LogRat(1).Sign() != 0 {
+		t.Fatal("LogRat of 0/1 should be 0")
+	}
+}
+
+const sampleSrc = `
+# triangle with a key and a degree bound
+vars x y z
+rel R(x, y)
+rel S(y, z)
+rel T(z, x)
+fd y -> z guard S
+degree R: x -> x y max 2
+row R 1 2
+row R 1 3
+row S 2 5
+row S 3 6
+row T 5 1
+row T 6 1
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	q, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.K != 3 || len(q.Rels) != 3 {
+		t.Fatalf("parsed shape wrong: K=%d rels=%d", q.K, len(q.Rels))
+	}
+	if q.Rels[0].Len() != 2 || q.Rels[1].Len() != 2 {
+		t.Fatal("row counts wrong")
+	}
+	if len(q.FDs.FDs) != 1 || !q.FDs.FDs[0].Guarded() {
+		t.Fatal("FD parsing wrong")
+	}
+	if len(q.DegreeBounds) != 1 || q.DegreeBounds[0].MaxDegree != 2 {
+		t.Fatal("degree bound parsing wrong")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("parsed query should validate: %v", err)
+	}
+}
+
+func TestParseUDF(t *testing.T) {
+	src := `vars x y z
+rel R(x)
+rel S(y)
+fd x y -> z via sum
+row R 1
+row S 2
+`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := q.FDs.FDs[0]
+	if f.Guarded() || f.Fns[2] == nil {
+		t.Fatal("UDF FD parsing wrong")
+	}
+	if got := f.Fns[2]([]int64{1, 2}); got != 3 {
+		t.Fatalf("sum UDF = %d, want 3", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                     // empty
+		"rel R(x)",                             // rel before vars
+		"vars x\nrel R(q)",                     // unknown var
+		"vars x\nrel R(x)\nrow R",              // missing values
+		"vars x\nrel R(x)\nrow R 1 2",          // arity
+		"vars x\nrel R(x)\nrow Z 1",            // unknown rel
+		"vars x\nfrob",                         // unknown directive
+		"vars x\nrel R(x)\nfd x ->",            // no target
+		"vars x\nrel R(x)\nfd x -> x via nope", // unknown UDF
+		"vars x y\nrel R(x,y)\ndegree R: x -> x y max q", // bad max
+		"vars x\nvars y", // duplicate vars
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("expected parse error for %q", strings.Split(src, "\n")[0])
+		}
+	}
+}
+
+func TestWithFreshRels(t *testing.T) {
+	q := New("x")
+	q.AddRel(rel.New("R", 0))
+	r2 := rel.New("R2", 0)
+	r2.Add(7)
+	q2 := q.WithFreshRels([]*rel.Relation{r2})
+	if q2.Rels[0].Len() != 1 || q.Rels[0].Len() != 0 {
+		t.Fatal("WithFreshRels should not alias the original")
+	}
+}

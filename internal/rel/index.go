@@ -1,0 +1,159 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/varset"
+)
+
+// Index is a sorted access path over a relation: rows ordered
+// lexicographically under a chosen variable priority. It emulates the trie
+// indexes of LFTJ/Generic-Join: prefix range lookup, degree counting, and
+// distinct-prefix iteration, each O(log N) plus output.
+type Index struct {
+	rel   *Relation
+	cols  []int // column positions in priority order (all columns)
+	nkey  int   // how many leading cols correspond to the requested key vars
+	perm  []int // row order
+	attrs []int // variable ids in priority order
+}
+
+// IndexOn builds an index whose sort priority starts with keyVars (in the
+// given order); the relation's remaining attributes follow in their schema
+// order. Variables in keyVars that are not attributes of r are skipped.
+func (r *Relation) IndexOn(keyVars ...int) *Index {
+	used := varset.Empty
+	var cols []int
+	var attrs []int
+	for _, v := range keyVars {
+		c := r.Col(v)
+		if c < 0 || used.Contains(v) {
+			continue
+		}
+		used = used.Add(v)
+		cols = append(cols, c)
+		attrs = append(attrs, v)
+	}
+	nkey := len(cols)
+	for c, v := range r.Attrs {
+		if !used.Contains(v) {
+			cols = append(cols, c)
+			attrs = append(attrs, v)
+		}
+	}
+	ix := &Index{rel: r, cols: cols, nkey: nkey, attrs: attrs}
+	ix.perm = make([]int, r.Len())
+	for i := range ix.perm {
+		ix.perm[i] = i
+	}
+	sort.Slice(ix.perm, func(a, b int) bool {
+		ta, tb := r.rows[ix.perm[a]], r.rows[ix.perm[b]]
+		for _, c := range cols {
+			if ta[c] != tb[c] {
+				return ta[c] < tb[c]
+			}
+		}
+		return false
+	})
+	return ix
+}
+
+// Relation returns the indexed relation.
+func (ix *Index) Relation() *Relation { return ix.rel }
+
+// KeyVars returns the number of leading key variables the index was built on.
+func (ix *Index) KeyVars() int { return ix.nkey }
+
+// cmpPrefix compares row (by sorted position) against a prefix of values on
+// the leading columns.
+func (ix *Index) cmpPrefix(pos int, prefix []Value) int {
+	t := ix.rel.rows[ix.perm[pos]]
+	for i, v := range prefix {
+		tv := t[ix.cols[i]]
+		if tv != v {
+			if tv < v {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Range returns the half-open interval [lo, hi) of sorted positions whose
+// rows match the given prefix on the index's leading columns.
+func (ix *Index) Range(prefix ...Value) (lo, hi int) {
+	if len(prefix) > len(ix.cols) {
+		panic(fmt.Sprintf("rel: prefix longer than index on %s", ix.rel.Name))
+	}
+	n := len(ix.perm)
+	lo = sort.Search(n, func(i int) bool { return ix.cmpPrefix(i, prefix) >= 0 })
+	hi = sort.Search(n, func(i int) bool { return ix.cmpPrefix(i, prefix) > 0 })
+	return lo, hi
+}
+
+// Count returns the number of rows matching the prefix: the "degree" of the
+// prefix value in the relation (Eq. 18 of the paper).
+func (ix *Index) Count(prefix ...Value) int {
+	lo, hi := ix.Range(prefix...)
+	return hi - lo
+}
+
+// Contains reports whether any row matches the full prefix.
+func (ix *Index) Contains(prefix ...Value) bool {
+	lo, hi := ix.Range(prefix...)
+	return hi > lo
+}
+
+// Row returns the row at sorted position pos.
+func (ix *Index) Row(pos int) Tuple { return ix.rel.rows[ix.perm[pos]] }
+
+// Attr returns the variable id at index priority position i.
+func (ix *Index) Attr(i int) int { return ix.attrs[i] }
+
+// ValueAt returns the value of the variable at priority position i in the
+// row at sorted position pos.
+func (ix *Index) ValueAt(pos, i int) Value { return ix.rel.rows[ix.perm[pos]][ix.cols[i]] }
+
+// DistinctNext iterates the distinct values of the column at priority
+// position len(prefix), among rows matching prefix, calling f with each
+// value and its degree (number of matching rows). Iteration stops if f
+// returns false.
+func (ix *Index) DistinctNext(prefix []Value, f func(v Value, degree int) bool) {
+	lo, hi := ix.Range(prefix...)
+	col := ix.cols[len(prefix)]
+	for pos := lo; pos < hi; {
+		v := ix.rel.rows[ix.perm[pos]][col]
+		// Find the end of this value's run with binary search.
+		end := pos + sort.Search(hi-pos, func(i int) bool {
+			return ix.rel.rows[ix.perm[pos+i]][col] > v
+		})
+		if !f(v, end-pos) {
+			return
+		}
+		pos = end
+	}
+}
+
+// MaxDegree returns the maximum degree over distinct prefixes of the first
+// nkey columns: max_v |σ_{key=v}(R)|. With nkey = 0 it returns Len().
+func (ix *Index) MaxDegree(nkey int) int {
+	if nkey == 0 {
+		return ix.rel.Len()
+	}
+	max := 0
+	n := len(ix.perm)
+	for pos := 0; pos < n; {
+		prefix := make([]Value, nkey)
+		for i := 0; i < nkey; i++ {
+			prefix[i] = ix.rel.rows[ix.perm[pos]][ix.cols[i]]
+		}
+		_, hi := ix.Range(prefix...)
+		if hi-pos > max {
+			max = hi - pos
+		}
+		pos = hi
+	}
+	return max
+}

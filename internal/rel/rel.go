@@ -1,0 +1,308 @@
+// Package rel is the in-memory relational substrate: relations over
+// dictionary-encoded int64 values with sorted-index ("trie") access paths,
+// hash joins, semijoins, projections, and degree counting.
+//
+// It provides the operations the paper's algorithms need with the costs the
+// analysis assumes: prefix range lookup and degree counting in O(log N) on a
+// sorted index, hash join/semijoin in time linear in input plus output.
+package rel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/varset"
+)
+
+// Value is a dictionary-encoded attribute value.
+type Value = int64
+
+// Tuple is a row; its arity matches the relation's attribute list.
+type Tuple []Value
+
+// Relation is a named relation over an ordered list of query variables.
+type Relation struct {
+	Name  string
+	Attrs []int // variable ids; column i holds the value of variable Attrs[i]
+	rows  []Tuple
+}
+
+// New creates an empty relation with the given attribute order.
+func New(name string, attrs ...int) *Relation {
+	seen := varset.Empty
+	for _, a := range attrs {
+		if seen.Contains(a) {
+			panic(fmt.Sprintf("rel: duplicate attribute %d in relation %s", a, name))
+		}
+		seen = seen.Add(a)
+	}
+	return &Relation{Name: name, Attrs: append([]int(nil), attrs...)}
+}
+
+// VarSet returns the set of variables of the relation.
+func (r *Relation) VarSet() varset.Set { return varset.Of(r.Attrs...) }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// Add appends a row. The tuple is copied.
+func (r *Relation) Add(t ...Value) {
+	if len(t) != len(r.Attrs) {
+		panic(fmt.Sprintf("rel: arity mismatch adding to %s: got %d want %d", r.Name, len(t), len(r.Attrs)))
+	}
+	r.rows = append(r.rows, append(Tuple(nil), t...))
+}
+
+// AddTuple appends a row without copying; the caller must not reuse t.
+func (r *Relation) AddTuple(t Tuple) {
+	if len(t) != len(r.Attrs) {
+		panic(fmt.Sprintf("rel: arity mismatch adding to %s", r.Name))
+	}
+	r.rows = append(r.rows, t)
+}
+
+// Row returns the i-th row (aliased, not copied).
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Rows returns the underlying row slice (aliased).
+func (r *Relation) Rows() []Tuple { return r.rows }
+
+// Col returns the column position of variable v, or -1.
+func (r *Relation) Col(v int) int {
+	for i, a := range r.Attrs {
+		if a == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns row i's value for variable v. It panics if v is not an
+// attribute of r.
+func (r *Relation) Value(i int, v int) Value {
+	c := r.Col(v)
+	if c < 0 {
+		panic(fmt.Sprintf("rel: relation %s has no attribute %d", r.Name, v))
+	}
+	return r.rows[i][c]
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	c := New(r.Name, r.Attrs...)
+	c.rows = make([]Tuple, len(r.rows))
+	for i, t := range r.rows {
+		c.rows[i] = append(Tuple(nil), t...)
+	}
+	return c
+}
+
+// SortDedup sorts rows lexicographically in attribute order and removes
+// duplicates.
+func (r *Relation) SortDedup() {
+	sort.Slice(r.rows, func(i, j int) bool { return lexLess(r.rows[i], r.rows[j]) })
+	out := r.rows[:0]
+	for i, t := range r.rows {
+		if i == 0 || !tupleEq(t, r.rows[i-1]) {
+			out = append(out, t)
+		}
+	}
+	r.rows = out
+}
+
+func lexLess(a, b Tuple) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func tupleEq(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the projection of r onto the given variables (ascending
+// variable order), with duplicates removed.
+func (r *Relation) Project(vars varset.Set) *Relation {
+	keep := vars.Intersect(r.VarSet())
+	cols := make([]int, 0, keep.Len())
+	attrs := keep.Members()
+	for _, v := range attrs {
+		cols = append(cols, r.Col(v))
+	}
+	out := New(r.Name+"_proj", attrs...)
+	out.rows = make([]Tuple, 0, len(r.rows))
+	for _, t := range r.rows {
+		nt := make(Tuple, len(cols))
+		for i, c := range cols {
+			nt[i] = t[c]
+		}
+		out.rows = append(out.rows, nt)
+	}
+	out.SortDedup()
+	return out
+}
+
+// Equal reports whether two relations contain the same set of rows over the
+// same variable set (attribute order may differ).
+func Equal(a, b *Relation) bool {
+	if a.VarSet() != b.VarSet() {
+		return false
+	}
+	ap := a.Project(a.VarSet())
+	bp := b.Project(b.VarSet())
+	if ap.Len() != bp.Len() {
+		return false
+	}
+	for i := range ap.rows {
+		if !tupleEq(ap.rows[i], bp.rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// key encodes the values of the given column positions as a map key.
+func key(t Tuple, cols []int) string {
+	b := make([]byte, 0, len(cols)*8)
+	for _, c := range cols {
+		v := uint64(t[c])
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
+// sharedCols returns the column positions in a and b of their shared
+// variables, in ascending variable order.
+func sharedCols(a, b *Relation) (ca, cb []int) {
+	shared := a.VarSet().Intersect(b.VarSet())
+	for _, v := range shared.Members() {
+		ca = append(ca, a.Col(v))
+		cb = append(cb, b.Col(v))
+	}
+	return ca, cb
+}
+
+// Join computes the natural join of a and b with a hash join. The output
+// attribute order is a's attributes followed by b's non-shared attributes.
+func Join(a, b *Relation) *Relation {
+	ca, cb := sharedCols(a, b)
+	// Hash the smaller side.
+	if b.Len() < a.Len() {
+		// Keep output schema stable regardless of which side is hashed.
+		return joinHashB(a, b, ca, cb)
+	}
+	return joinHashB(a, b, ca, cb)
+}
+
+func joinHashB(a, b *Relation, ca, cb []int) *Relation {
+	bShared := varset.Empty
+	for _, c := range cb {
+		bShared = bShared.Add(b.Attrs[c])
+	}
+	var extraCols []int
+	var outAttrs []int
+	outAttrs = append(outAttrs, a.Attrs...)
+	for i, v := range b.Attrs {
+		if !bShared.Contains(v) {
+			extraCols = append(extraCols, i)
+			outAttrs = append(outAttrs, v)
+		}
+	}
+	out := New(a.Name+"⋈"+b.Name, outAttrs...)
+	h := make(map[string][]int, b.Len())
+	for i, t := range b.rows {
+		k := key(t, cb)
+		h[k] = append(h[k], i)
+	}
+	for _, t := range a.rows {
+		for _, bi := range h[key(t, ca)] {
+			nt := make(Tuple, 0, len(outAttrs))
+			nt = append(nt, t...)
+			for _, c := range extraCols {
+				nt = append(nt, b.rows[bi][c])
+			}
+			out.rows = append(out.rows, nt)
+		}
+	}
+	return out
+}
+
+// Semijoin returns the rows of a that join with at least one row of b.
+func Semijoin(a, b *Relation) *Relation {
+	ca, cb := sharedCols(a, b)
+	h := make(map[string]bool, b.Len())
+	for _, t := range b.rows {
+		h[key(t, cb)] = true
+	}
+	out := New(a.Name, a.Attrs...)
+	for _, t := range a.rows {
+		if h[key(t, ca)] {
+			out.rows = append(out.rows, append(Tuple(nil), t...))
+		}
+	}
+	return out
+}
+
+// Antijoin returns the rows of a that join with no row of b.
+func Antijoin(a, b *Relation) *Relation {
+	ca, cb := sharedCols(a, b)
+	h := make(map[string]bool, b.Len())
+	for _, t := range b.rows {
+		h[key(t, cb)] = true
+	}
+	out := New(a.Name, a.Attrs...)
+	for _, t := range a.rows {
+		if !h[key(t, ca)] {
+			out.rows = append(out.rows, append(Tuple(nil), t...))
+		}
+	}
+	return out
+}
+
+// Intersect returns rows present in both relations; the relations must be
+// over the same variable set.
+func Intersect(a, b *Relation) *Relation {
+	if a.VarSet() != b.VarSet() {
+		panic("rel: Intersect schema mismatch")
+	}
+	return Semijoin(a, b)
+}
+
+// Union returns the set union of two relations over the same variable set.
+func Union(a, b *Relation) *Relation {
+	if a.VarSet() != b.VarSet() {
+		panic("rel: Union schema mismatch")
+	}
+	out := New(a.Name+"∪"+b.Name, a.Attrs...)
+	for _, t := range a.rows {
+		out.rows = append(out.rows, append(Tuple(nil), t...))
+	}
+	cols := make([]int, len(a.Attrs))
+	for i, v := range a.Attrs {
+		cols[i] = b.Col(v)
+	}
+	for _, t := range b.rows {
+		nt := make(Tuple, len(cols))
+		for i, c := range cols {
+			nt[i] = t[c]
+		}
+		out.rows = append(out.rows, nt)
+	}
+	out.SortDedup()
+	return out
+}

@@ -1,0 +1,289 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/varset"
+)
+
+func TestAddLenRow(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(1, 2)
+	r.Add(3, 4)
+	if r.Len() != 2 || r.Arity() != 2 {
+		t.Fatalf("Len/Arity wrong")
+	}
+	if r.Row(1)[0] != 3 {
+		t.Fatalf("Row wrong")
+	}
+	if r.Value(0, 1) != 2 {
+		t.Fatalf("Value wrong")
+	}
+}
+
+func TestAddArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("R", 0, 1).Add(1)
+}
+
+func TestDuplicateAttrPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("R", 0, 0)
+}
+
+func TestSortDedup(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(2, 1)
+	r.Add(1, 2)
+	r.Add(2, 1)
+	r.SortDedup()
+	if r.Len() != 2 {
+		t.Fatalf("dedup failed, len=%d", r.Len())
+	}
+	if r.Row(0)[0] != 1 || r.Row(1)[0] != 2 {
+		t.Fatal("sort order wrong")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := New("R", 0, 1, 2)
+	r.Add(1, 10, 100)
+	r.Add(1, 20, 100)
+	r.Add(2, 10, 200)
+	p := r.Project(varset.Of(0, 2))
+	if p.Len() != 2 {
+		t.Fatalf("projection len = %d, want 2", p.Len())
+	}
+	if p.VarSet() != varset.Of(0, 2) {
+		t.Fatalf("projection vars = %v", p.VarSet())
+	}
+	// Projecting onto vars not in the relation keeps only the intersection.
+	q := r.Project(varset.Of(1, 5))
+	if q.VarSet() != varset.Of(1) {
+		t.Fatalf("projection vars = %v", q.VarSet())
+	}
+}
+
+func TestJoinBasic(t *testing.T) {
+	r := New("R", 0, 1) // R(x,y)
+	r.Add(1, 2)
+	r.Add(1, 3)
+	s := New("S", 1, 2) // S(y,z)
+	s.Add(2, 7)
+	s.Add(2, 8)
+	s.Add(9, 9)
+	j := Join(r, s)
+	if j.VarSet() != varset.Of(0, 1, 2) {
+		t.Fatalf("join vars = %v", j.VarSet())
+	}
+	if j.Len() != 2 {
+		t.Fatalf("join len = %d, want 2", j.Len())
+	}
+}
+
+func TestJoinCross(t *testing.T) {
+	r := New("R", 0)
+	r.Add(1)
+	r.Add(2)
+	s := New("S", 1)
+	s.Add(10)
+	s.Add(20)
+	j := Join(r, s)
+	if j.Len() != 4 {
+		t.Fatalf("cross product len = %d, want 4", j.Len())
+	}
+}
+
+func TestSemijoinAntijoin(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(1, 1)
+	r.Add(2, 2)
+	s := New("S", 1)
+	s.Add(1)
+	sj := Semijoin(r, s)
+	if sj.Len() != 1 || sj.Row(0)[0] != 1 {
+		t.Fatalf("semijoin wrong: %v", sj.Rows())
+	}
+	aj := Antijoin(r, s)
+	if aj.Len() != 1 || aj.Row(0)[0] != 2 {
+		t.Fatalf("antijoin wrong: %v", aj.Rows())
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := New("A", 0, 1)
+	a.Add(1, 1)
+	a.Add(2, 2)
+	b := New("B", 0, 1)
+	b.Add(2, 2)
+	b.Add(3, 3)
+	if got := Intersect(a, b); got.Len() != 1 {
+		t.Fatalf("intersect len = %d", got.Len())
+	}
+	if got := Union(a, b); got.Len() != 3 {
+		t.Fatalf("union len = %d", got.Len())
+	}
+}
+
+func TestUnionColumnOrderMismatch(t *testing.T) {
+	a := New("A", 0, 1)
+	a.Add(1, 2)
+	b := New("B", 1, 0) // same vars, different order
+	b.Add(2, 1)         // same logical tuple
+	u := Union(a, b)
+	if u.Len() != 1 {
+		t.Fatalf("union should reconcile column order, len = %d", u.Len())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New("A", 0, 1)
+	a.Add(1, 2)
+	a.Add(3, 4)
+	b := New("B", 1, 0)
+	b.Add(4, 3)
+	b.Add(2, 1)
+	if !Equal(a, b) {
+		t.Fatal("relations with same rows under different column order should be Equal")
+	}
+	b.Add(9, 9)
+	if Equal(a, b) {
+		t.Fatal("different relations reported Equal")
+	}
+}
+
+func TestIndexRangeCount(t *testing.T) {
+	r := New("R", 0, 1)
+	for i := Value(0); i < 10; i++ {
+		r.Add(i%3, i)
+	}
+	ix := r.IndexOn(0)
+	if got := ix.Count(0); got != 4 {
+		t.Fatalf("Count(0) = %d, want 4", got)
+	}
+	if got := ix.Count(1); got != 3 {
+		t.Fatalf("Count(1) = %d, want 3", got)
+	}
+	if got := ix.Count(99); got != 0 {
+		t.Fatalf("Count(99) = %d, want 0", got)
+	}
+	if !ix.Contains(0, 0) || ix.Contains(0, 1) {
+		t.Fatal("Contains full-prefix wrong")
+	}
+}
+
+func TestIndexDistinctNext(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(1, 10)
+	r.Add(1, 20)
+	r.Add(2, 30)
+	ix := r.IndexOn(0, 1)
+	var vals []Value
+	var degs []int
+	ix.DistinctNext(nil, func(v Value, d int) bool {
+		vals = append(vals, v)
+		degs = append(degs, d)
+		return true
+	})
+	if len(vals) != 2 || vals[0] != 1 || degs[0] != 2 || vals[1] != 2 || degs[1] != 1 {
+		t.Fatalf("DistinctNext got %v %v", vals, degs)
+	}
+	// Second level under prefix 1.
+	var inner []Value
+	ix.DistinctNext([]Value{1}, func(v Value, d int) bool {
+		inner = append(inner, v)
+		return true
+	})
+	if len(inner) != 2 || inner[0] != 10 || inner[1] != 20 {
+		t.Fatalf("inner DistinctNext got %v", inner)
+	}
+}
+
+func TestIndexMaxDegree(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(1, 1)
+	r.Add(1, 2)
+	r.Add(1, 3)
+	r.Add(2, 1)
+	ix := r.IndexOn(0)
+	if got := ix.MaxDegree(1); got != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", got)
+	}
+	if got := ix.MaxDegree(0); got != 4 {
+		t.Fatalf("MaxDegree(0) = %d, want 4", got)
+	}
+}
+
+func TestIndexSkipsForeignVars(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(5, 6)
+	ix := r.IndexOn(7, 1) // 7 is not an attribute; priority becomes (1, 0)
+	if ix.Attr(0) != 1 {
+		t.Fatalf("Attr(0) = %d, want 1", ix.Attr(0))
+	}
+	if ix.KeyVars() != 1 {
+		t.Fatalf("KeyVars = %d, want 1", ix.KeyVars())
+	}
+}
+
+// Property: Join agrees with a nested-loop reference implementation on
+// random instances.
+func TestJoinAgainstNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		r := New("R", 0, 1)
+		s := New("S", 1, 2)
+		for i := 0; i < 20; i++ {
+			r.Add(Value(rng.Intn(4)), Value(rng.Intn(4)))
+			s.Add(Value(rng.Intn(4)), Value(rng.Intn(4)))
+		}
+		r.SortDedup()
+		s.SortDedup()
+		want := New("W", 0, 1, 2)
+		for _, tr := range r.Rows() {
+			for _, ts := range s.Rows() {
+				if tr[1] == ts[0] {
+					want.Add(tr[0], tr[1], ts[1])
+				}
+			}
+		}
+		got := Join(r, s)
+		got.SortDedup()
+		want.SortDedup()
+		if !Equal(got, want) {
+			t.Fatalf("trial %d: join mismatch", trial)
+		}
+	}
+}
+
+// Property: Index Count matches linear scan on random data.
+func TestIndexCountAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := New("R", 0, 1, 2)
+	for i := 0; i < 200; i++ {
+		r.Add(Value(rng.Intn(5)), Value(rng.Intn(5)), Value(rng.Intn(5)))
+	}
+	ix := r.IndexOn(1, 2)
+	for a := Value(0); a < 5; a++ {
+		for b := Value(0); b < 5; b++ {
+			want := 0
+			for _, t2 := range r.Rows() {
+				if t2[1] == a && t2[2] == b {
+					want++
+				}
+			}
+			if got := ix.Count(a, b); got != want {
+				t.Fatalf("Count(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package smalg implements the Sub-Modularity bound and Algorithm of
+// Sec. 5.2: SM proof sequences (Balister–Bollobás style), the goodness
+// labelling of Definition 5.26, and the SM Algorithm (Algorithm 2) with its
+// heavy/light sub-modularity joins.
+package smalg
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/bounds"
+	"repro/internal/lattice"
+)
+
+// Step is one SM-step: consume live slots (SlotX, SlotY) holding
+// incomparable lattice elements X, Y and produce two new slots holding
+// X∧Y and X∨Y.
+type Step struct {
+	SlotX, SlotY int // slot ids consumed
+	X, Y         int // lattice elements of the consumed slots
+	Meet, Join   int // lattice elements produced
+	SlotMeet     int // slot id created for X∧Y
+	SlotJoin     int // slot id created for X∨Y
+}
+
+// Proof is an SM proof sequence over a multiset of input copies.
+//
+// Slots 0..len(InitElems)-1 are the initial multiset (input R_j repeated
+// q_j times where w*_j = q_j/D); each step consumes two live slots and
+// creates two more. Live slots at the end form a chain; D of them hold 1̂.
+type Proof struct {
+	D         int   // common denominator of the dual weights
+	InitElems []int // lattice element per initial slot
+	InitRel   []int // input relation index per initial slot
+	Steps     []Step
+	NumSlots  int
+}
+
+// LiveSlots returns the slot ids alive after all steps.
+func (p *Proof) LiveSlots() []int {
+	dead := make([]bool, p.NumSlots)
+	for _, s := range p.Steps {
+		dead[s.SlotX] = true
+		dead[s.SlotY] = true
+	}
+	var out []int
+	for i := 0; i < p.NumSlots; i++ {
+		if !dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// slotElem returns the lattice element held by each slot.
+func (p *Proof) slotElems() []int {
+	elems := make([]int, p.NumSlots)
+	for i, e := range p.InitElems {
+		elems[i] = e
+	}
+	for _, s := range p.Steps {
+		elems[s.SlotMeet] = s.Meet
+		elems[s.SlotJoin] = s.Join
+	}
+	return elems
+}
+
+// IsGood runs the labelling procedure of Definition 5.26 and reports whether
+// the proof sequence is good: every SM-step has a non-empty label
+// intersection A(X,Y), and at the end every label appears in the union of
+// the label sets of 1̂-slots.
+func (p *Proof) IsGood(l *lattice.Lattice) bool {
+	labels := make([]map[int]bool, p.NumSlots)
+	for i := range p.InitElems {
+		labels[i] = map[int]bool{1: true}
+	}
+	nextLabel := 2
+	allLabels := map[int]bool{1: true}
+	elems := p.slotElems()
+
+	for _, s := range p.Steps {
+		// A(X, Y) = Labels(X) ∩ Labels(Y).
+		A := map[int]bool{}
+		for j := range labels[s.SlotX] {
+			if labels[s.SlotY][j] {
+				A[j] = true
+			}
+		}
+		if len(A) == 0 {
+			return false
+		}
+		// Labels(X∨Y) = A.
+		joinLabels := map[int]bool{}
+		for j := range A {
+			joinLabels[j] = true
+		}
+		labels[s.SlotJoin] = joinLabels
+		// Labels(X∧Y) = fresh f(j) per j ∈ A (when the meet is not 0̂).
+		fresh := map[int]int{}
+		meetLabels := map[int]bool{}
+		if s.Meet != l.Bottom {
+			for j := range A {
+				fresh[j] = nextLabel
+				meetLabels[nextLabel] = true
+				allLabels[nextLabel] = true
+				nextLabel++
+			}
+		}
+		labels[s.SlotMeet] = meetLabels
+		// Every OTHER slot Z (the consumed X, Y stay in the labelling
+		// multiset per Def. 5.26) gains {f(j) : j ∈ Labels(Z) ∩ A}.
+		for z := 0; z < p.NumSlots; z++ {
+			if labels[z] == nil || z == s.SlotMeet || z == s.SlotJoin {
+				continue
+			}
+			for j := range A {
+				if labels[z][j] {
+					if f, ok := fresh[j]; ok {
+						labels[z][f] = true
+					}
+				}
+			}
+		}
+	}
+	// Union of labels over all slots that hold 1̂.
+	topLabels := map[int]bool{}
+	for i := 0; i < p.NumSlots; i++ {
+		if elems[i] == l.Top && labels[i] != nil {
+			for j := range labels[i] {
+				topLabels[j] = true
+			}
+		}
+	}
+	for j := range allLabels {
+		if !topLabels[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// commonDenominator returns d and integers q_j so that w_j = q_j/d.
+func commonDenominator(w []*big.Rat) (int, []int) {
+	d := big.NewInt(1)
+	for _, wj := range w {
+		d = lcm(d, wj.Denom())
+	}
+	qs := make([]int, len(w))
+	for j, wj := range w {
+		t := new(big.Int).Mul(wj.Num(), new(big.Int).Div(d, wj.Denom()))
+		qs[j] = int(t.Int64())
+	}
+	return int(d.Int64()), qs
+}
+
+func lcm(a, b *big.Int) *big.Int {
+	g := new(big.Int).GCD(nil, nil, a, b)
+	return new(big.Int).Div(new(big.Int).Mul(a, b), g)
+}
+
+// FindProof searches for a good SM proof using the dual weights returned by
+// the LLP solve. Different optimal dual vertices can differ in whether a
+// good proof exists; use FindProofAny to search across them.
+func FindProof(llp *bounds.LLPResult) *Proof {
+	return findProofFor(llp, llp.W)
+}
+
+// FindProofAny tries the solver's dual weights and then every vertex of the
+// co-atomic cover polytope that attains the same optimal value Σ w_j·n_j.
+// (Any primal-optimal h* is complementary to any dual-optimal w: if
+// w_j > 0 forced h*(R_j) < n_j, the output inequality would fail at h*.)
+func FindProofAny(llp *bounds.LLPResult, logSizes []*big.Rat, candidates [][]*big.Rat) *Proof {
+	if p := findProofFor(llp, llp.W); p != nil {
+		return p
+	}
+	for _, w := range candidates {
+		if len(w) != len(llp.W) {
+			continue
+		}
+		val := new(big.Rat)
+		t := new(big.Rat)
+		for j := range w {
+			t.Mul(w[j], logSizes[j])
+			val.Add(val, t)
+		}
+		if val.Cmp(llp.LogBound) != 0 {
+			continue // not dual-optimal
+		}
+		if !bounds.OutputInequalityHolds(llp.Lat, llp.Inputs, w) {
+			continue
+		}
+		if p := findProofFor(llp, w); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// findProofFor backtracks over the choice of SM-steps for the multiset
+// defined by weights w (w_j = q_j/d copies of R_j), preferring steps that
+// are tight for h* (required for the size invariants of Lemma 5.24), and
+// validates goodness (Def. 5.26) before accepting a terminal state. It
+// returns nil when no good SM proof exists within the node budget (e.g.
+// Fig. 9 / Example 5.31).
+func findProofFor(llp *bounds.LLPResult, w []*big.Rat) *Proof {
+	l := llp.Lat
+	d, qs := commonDenominator(w)
+	var initElems, initRel []int
+	for j, e := range llp.Inputs {
+		for c := 0; c < qs[j]; c++ {
+			initElems = append(initElems, e)
+			initRel = append(initRel, j)
+		}
+	}
+	if len(initElems) == 0 {
+		return nil
+	}
+
+	tight := func(x, y int) bool {
+		lhs := new(big.Rat).Add(llp.H[x], llp.H[y])
+		rhs := new(big.Rat).Add(llp.H[l.Meet(x, y)], llp.H[l.Join(x, y)])
+		return lhs.Cmp(rhs) == 0
+	}
+
+	budget := 200000
+	var steps []Step
+	var found *Proof
+
+	// live holds the lattice element per live slot (-1 = consumed).
+	live := append([]int{}, initElems...)
+
+	var rec func() bool
+	rec = func() bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		// Collect incomparable live pairs, tight-for-h* first.
+		type cand struct{ i, j int }
+		var tightPairs, loosePairs []cand
+		for i := 0; i < len(live); i++ {
+			if live[i] < 0 {
+				continue
+			}
+			for j := i + 1; j < len(live); j++ {
+				if live[j] < 0 || !l.Incomparable(live[i], live[j]) {
+					continue
+				}
+				if tight(live[i], live[j]) {
+					tightPairs = append(tightPairs, cand{i, j})
+				} else {
+					loosePairs = append(loosePairs, cand{i, j})
+				}
+			}
+		}
+		if len(tightPairs) == 0 && len(loosePairs) == 0 {
+			// Terminal: all comparable. Require d copies of 1̂ and goodness.
+			topCount := 0
+			for _, e := range live {
+				if e == l.Top {
+					topCount++
+				}
+			}
+			if topCount < d {
+				return false
+			}
+			p := &Proof{D: d, InitElems: initElems, InitRel: initRel,
+				Steps: append([]Step{}, steps...), NumSlots: len(live)}
+			if !p.IsGood(l) {
+				return false
+			}
+			found = p
+			return true
+		}
+		// Prefer tight steps; only fall back to loose ones if no tight step
+		// exists (loose steps would break Lemma 5.24's size invariant, but
+		// exploring them can still find good proofs of weaker bounds).
+		cands := tightPairs
+		if len(cands) == 0 {
+			cands = loosePairs
+		}
+		for _, c := range cands {
+			x, y := live[c.i], live[c.j]
+			mt, jn := l.Meet(x, y), l.Join(x, y)
+			slotMeet := len(live)
+			slotJoin := len(live) + 1
+			steps = append(steps, Step{SlotX: c.i, SlotY: c.j, X: x, Y: y,
+				Meet: mt, Join: jn, SlotMeet: slotMeet, SlotJoin: slotJoin})
+			live[c.i], live[c.j] = -1, -1
+			live = append(live, mt, jn)
+			if rec() {
+				return true
+			}
+			live = live[:len(live)-2]
+			live[c.i], live[c.j] = x, y
+			steps = steps[:len(steps)-1]
+		}
+		return false
+	}
+	rec()
+	return found
+}
+
+// String renders the proof for diagnostics.
+func (p *Proof) String() string {
+	return fmt.Sprintf("SMProof{d=%d, init=%v, steps=%d}", p.D, p.InitElems, len(p.Steps))
+}

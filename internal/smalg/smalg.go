@@ -1,0 +1,145 @@
+package smalg
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"repro/internal/bounds"
+	"repro/internal/expand"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// Stats reports the work of an SMA execution.
+type Stats struct {
+	Proof      *Proof
+	JoinTuples int   // tuples materialized across all SM-joins
+	HeavySizes []int // |Heavy| per step
+	LiteSizes  []int // |T(X∨Y)| per step
+}
+
+// Run executes the SM Algorithm (Algorithm 2) for the query using the given
+// good proof sequence and the optimal LLP solution h* that the proof is
+// tight for. The result is exactly Q^D (the final semi-join reduction
+// filters the union of the T(1̂) tables against every input and FD).
+func Run(q *query.Q, llp *bounds.LLPResult, proof *Proof) (*rel.Relation, *Stats, error) {
+	l := llp.Lat
+	e := expand.New(q)
+	st := &Stats{Proof: proof}
+
+	hFloat := make([]float64, l.Size())
+	for i, h := range llp.H {
+		hFloat[i], _ = h.Float64()
+	}
+
+	// Tables per slot.
+	tables := make([]*rel.Relation, proof.NumSlots)
+	for i, j := range proof.InitRel {
+		tables[i] = e.ExpandToClosure(q.Rels[j])
+	}
+
+	const eps = 1e-9
+	for _, s := range proof.Steps {
+		tx, ty := tables[s.SlotX], tables[s.SlotY]
+		if tx == nil || ty == nil {
+			return nil, nil, fmt.Errorf("smalg: step consumes a dead slot")
+		}
+		zVars := l.Elems[s.Meet]
+		threshold := hFloat[s.Y] - hFloat[s.Meet]
+
+		// Partition Π_Z(T(Y)) into Lite and Heavy by log-degree.
+		zProj := ty.Project(zVars)
+		var lite, heavy *rel.Relation
+		lite = rel.New("Lite", zProj.Attrs...)
+		heavy = rel.New("Heavy", zProj.Attrs...)
+		ix := ty.IndexOn(zVars.Members()...)
+		for _, row := range zProj.Rows() {
+			deg := ix.Count(row...)
+			if deg == 0 {
+				continue
+			}
+			if math.Log2(float64(deg)) <= threshold+eps {
+				lite.AddTuple(append(rel.Tuple{}, row...))
+			} else {
+				heavy.AddTuple(append(rel.Tuple{}, row...))
+			}
+		}
+		st.HeavySizes = append(st.HeavySizes, heavy.Len())
+
+		// T(X∨Y) = (T(X) ⋈ (T(Y) ⋉ Lite))⁺, expanded to vars(X∨Y).
+		joined := rel.Join(tx, rel.Semijoin(ty, lite))
+		st.JoinTuples += joined.Len()
+		tables[s.SlotJoin] = e.ExpandRelation(joined, l.Elems[s.Join])
+		st.LiteSizes = append(st.LiteSizes, tables[s.SlotJoin].Len())
+
+		// T(X∧Y) = Π_Z(T(X)) ∩ Π_Z(T(Y)) ∩ Heavy.
+		meetTable := rel.Semijoin(rel.Semijoin(tx.Project(zVars), zProj), heavy)
+		tables[s.SlotMeet] = meetTable
+
+		tables[s.SlotX], tables[s.SlotY] = nil, nil
+	}
+
+	// Union the T(1̂) tables among live slots and semi-join reduce.
+	elems := proof.slotElems()
+	var out *rel.Relation
+	for _, slot := range proof.LiveSlots() {
+		if elems[slot] != l.Top || tables[slot] == nil {
+			continue
+		}
+		if out == nil {
+			out = tables[slot]
+		} else {
+			out = rel.Union(out, tables[slot])
+		}
+	}
+	if out == nil {
+		return rel.New("Q", q.AllVars().Members()...), st, nil
+	}
+	for _, r := range q.Rels {
+		out = rel.Semijoin(out, r)
+	}
+	// Final FD-consistency filter (covers UDF FDs not witnessed by inputs).
+	filtered := rel.New("Q", out.Attrs...)
+	vals := make([]rel.Value, q.K)
+	for _, t := range out.Rows() {
+		for i, v := range out.Attrs {
+			vals[v] = t[i]
+		}
+		if _, ok := e.Extend(vals, out.VarSet()); ok {
+			filtered.AddTuple(append(rel.Tuple{}, t...))
+		}
+	}
+	filtered.SortDedup()
+	return filtered, st, nil
+}
+
+// RunAuto solves the LLP, searches for a good proof, and executes SMA.
+// It fails when no good SM proof exists (e.g. Fig. 9 / Example 5.31), in
+// which case CSMA is the right tool.
+func RunAuto(q *query.Q) (*rel.Relation, *Stats, error) {
+	llp := bounds.LLP(q)
+	h, _ := bounds.CoatomicHypergraph(q)
+	var candidates [][]*big.Rat
+	if !h.HasIsolatedVertex() {
+		candidates = h.CoverPolytope().Vertices()
+	}
+	proof := FindProofAny(llp, q.LogSizes(), candidates)
+	if proof == nil {
+		return nil, nil, fmt.Errorf("smalg: no good SM proof sequence found among optimal dual weights")
+	}
+	return Run(q, llp, proof)
+}
+
+// SMBound returns the bound certified by a proof: Σ_j w_j n_j where w_j are
+// the dual weights the proof realizes. With a good tight proof this equals
+// the LLP optimum.
+func SMBound(llp *bounds.LLPResult, logSizes []*big.Rat) *big.Rat {
+	sum := new(big.Rat)
+	t := new(big.Rat)
+	for j, w := range llp.W {
+		t.Mul(w, logSizes[j])
+		sum.Add(sum, t)
+	}
+	return sum
+}

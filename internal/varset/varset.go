@@ -1,0 +1,157 @@
+// Package varset implements sets of query variables as 64-bit bitsets.
+//
+// Variables are identified by small integer indices 0..63. All lattice and
+// bound computations in this repository operate on these sets; the 64-variable
+// limit is far above any query in the paper (which uses at most 7).
+package varset
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Set is a set of variable indices, one bit per variable.
+type Set uint64
+
+// Empty is the empty variable set.
+const Empty Set = 0
+
+// MaxVars is the maximum number of distinct variables a Set can hold.
+const MaxVars = 64
+
+// Of builds a set from the given variable indices.
+func Of(vars ...int) Set {
+	var s Set
+	for _, v := range vars {
+		s |= 1 << uint(v)
+	}
+	return s
+}
+
+// Single returns the singleton set {v}.
+func Single(v int) Set { return 1 << uint(v) }
+
+// Universe returns the set {0, 1, ..., n-1}.
+func Universe(n int) Set {
+	if n >= 64 {
+		return ^Set(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// Contains reports whether v is a member of s.
+func (s Set) Contains(v int) bool { return s&(1<<uint(v)) != 0 }
+
+// ContainsAll reports whether t ⊆ s.
+func (s Set) ContainsAll(t Set) bool { return t&^s == 0 }
+
+// Add returns s ∪ {v}.
+func (s Set) Add(v int) Set { return s | 1<<uint(v) }
+
+// Remove returns s \ {v}.
+func (s Set) Remove(v int) Set { return s &^ (1 << uint(v)) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set { return s &^ t }
+
+// IsEmpty reports whether s has no members.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of members of s.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Members returns the members of s in increasing order.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Len())
+	for t := s; t != 0; {
+		v := bits.TrailingZeros64(uint64(t))
+		out = append(out, v)
+		t &= t - 1
+	}
+	return out
+}
+
+// Min returns the smallest member of s, or -1 if s is empty.
+func (s Set) Min() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Comparable reports whether s ⊆ t or t ⊆ s.
+func (s Set) Comparable(t Set) bool {
+	return s&^t == 0 || t&^s == 0
+}
+
+// Subsets calls f for every subset of s, including Empty and s itself.
+// Iteration stops early if f returns false.
+func (s Set) Subsets(f func(Set) bool) {
+	// Standard subset enumeration trick: iterate sub = (sub - 1) & s.
+	sub := s
+	for {
+		if !f(sub) {
+			return
+		}
+		if sub == 0 {
+			return
+		}
+		sub = (sub - 1) & s
+	}
+}
+
+// String renders the set like "{x0,x3}" using generic variable names.
+func (s Set) String() string {
+	return s.Format(nil)
+}
+
+// Format renders the set using the given variable names; names may be nil or
+// shorter than needed, in which case "x<i>" is used.
+func (s Set) Format(names []string) string {
+	if s == 0 {
+		return "{}"
+	}
+	ms := s.Members()
+	parts := make([]string, len(ms))
+	for i, v := range ms {
+		if v < len(names) {
+			parts[i] = names[v]
+		} else {
+			parts[i] = "x" + itoa(v)
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// SortSets sorts a slice of sets by cardinality, then by numeric value.
+// This order places 0̂ first and 1̂ last for a lattice's element list.
+func SortSets(sets []Set) {
+	sort.Slice(sets, func(i, j int) bool {
+		li, lj := sets[i].Len(), sets[j].Len()
+		if li != lj {
+			return li < lj
+		}
+		return sets[i] < sets[j]
+	})
+}

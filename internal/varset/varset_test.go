@@ -1,0 +1,182 @@
+package varset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfAndMembers(t *testing.T) {
+	s := Of(0, 3, 5)
+	if got := s.Members(); len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Members() = %v, want [0 3 5]", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		u := Universe(n)
+		if u.Len() != n {
+			t.Fatalf("Universe(%d).Len() = %d", n, u.Len())
+		}
+	}
+	if Universe(64).Len() != 64 {
+		t.Fatalf("Universe(64) should have 64 members")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Of(1, 2)
+	if !s.Contains(1) || !s.Contains(2) || s.Contains(0) {
+		t.Fatal("Contains is wrong")
+	}
+	if !s.ContainsAll(Of(1)) || s.ContainsAll(Of(0, 1)) {
+		t.Fatal("ContainsAll is wrong")
+	}
+	if !s.ContainsAll(Empty) {
+		t.Fatal("every set contains the empty set")
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	s := Empty.Add(4).Add(7)
+	if !s.Contains(4) || !s.Contains(7) {
+		t.Fatal("Add failed")
+	}
+	s = s.Remove(4)
+	if s.Contains(4) || !s.Contains(7) {
+		t.Fatal("Remove failed")
+	}
+	// Removing an absent element is a no-op.
+	if s.Remove(9) != s {
+		t.Fatal("Remove of absent element changed set")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := Of(0, 1, 2), Of(2, 3)
+	if a.Union(b) != Of(0, 1, 2, 3) {
+		t.Fatal("Union wrong")
+	}
+	if a.Intersect(b) != Of(2) {
+		t.Fatal("Intersect wrong")
+	}
+	if a.Diff(b) != Of(0, 1) {
+		t.Fatal("Diff wrong")
+	}
+}
+
+func TestComparable(t *testing.T) {
+	if !Of(0).Comparable(Of(0, 1)) {
+		t.Fatal("{0} and {0,1} are comparable")
+	}
+	if Of(0).Comparable(Of(1)) {
+		t.Fatal("{0} and {1} are incomparable")
+	}
+	if !Empty.Comparable(Of(5)) {
+		t.Fatal("empty set is comparable with everything")
+	}
+}
+
+func TestMin(t *testing.T) {
+	if Empty.Min() != -1 {
+		t.Fatal("Min of empty should be -1")
+	}
+	if Of(3, 9).Min() != 3 {
+		t.Fatal("Min wrong")
+	}
+}
+
+func TestSubsetsCount(t *testing.T) {
+	s := Of(1, 4, 6)
+	n := 0
+	s.Subsets(func(sub Set) bool {
+		if !s.ContainsAll(sub) {
+			t.Fatalf("subset %v not contained in %v", sub, s)
+		}
+		n++
+		return true
+	})
+	if n != 8 {
+		t.Fatalf("got %d subsets, want 8", n)
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	n := 0
+	Of(0, 1, 2).Subsets(func(Set) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop failed, visited %d", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Empty.String(); got != "{}" {
+		t.Fatalf("empty String() = %q", got)
+	}
+	if got := Of(0, 2).Format([]string{"x", "y", "z"}); got != "{x,z}" {
+		t.Fatalf("Format = %q", got)
+	}
+	if got := Of(1).Format(nil); got != "{x1}" {
+		t.Fatalf("Format nil names = %q", got)
+	}
+}
+
+func TestSortSets(t *testing.T) {
+	sets := []Set{Of(0, 1, 2), Of(1), Empty, Of(0, 2), Of(0)}
+	SortSets(sets)
+	if sets[0] != Empty || sets[len(sets)-1] != Of(0, 1, 2) {
+		t.Fatalf("SortSets order wrong: %v", sets)
+	}
+	if sets[1] != Of(0) || sets[2] != Of(1) {
+		t.Fatalf("ties should break by value: %v", sets)
+	}
+}
+
+// Property: union is commutative, associative; De Morgan over a universe.
+func TestQuickAlgebra(t *testing.T) {
+	f := func(a, b, c Set) bool {
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Union(b).Union(c) != a.Union(b.Union(c)) {
+			return false
+		}
+		if a.Intersect(b.Union(c)) != a.Intersect(b).Union(a.Intersect(c)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Members round-trips through Of.
+func TestQuickMembersRoundTrip(t *testing.T) {
+	f := func(s Set) bool {
+		return Of(s.Members()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: number of subsets is 2^Len for small sets.
+func TestQuickSubsetCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		s := Set(rng.Uint64()) & Set(Universe(12))
+		n := 0
+		s.Subsets(func(Set) bool { n++; return true })
+		if n != 1<<uint(s.Len()) {
+			t.Fatalf("set %v: %d subsets, want %d", s, n, 1<<uint(s.Len()))
+		}
+	}
+}

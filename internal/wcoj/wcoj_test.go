@@ -1,0 +1,144 @@
+package wcoj
+
+import (
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/paper"
+	"repro/internal/rel"
+)
+
+func TestGenericJoinTriangle(t *testing.T) {
+	q := paper.TriangleProduct(3)
+	out, _, err := GenericJoin(q, DefaultOrder(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("generic join disagrees with naive on product triangle")
+	}
+}
+
+func TestGenericJoinTriangleRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		q := paper.TriangleRandom(6, 25, seed)
+		out, _, err := GenericJoin(q, DefaultOrder(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rel.Equal(out, naive.Evaluate(q)) {
+			t.Fatalf("seed %d: generic join disagrees with naive", seed)
+		}
+	}
+}
+
+func TestGenericJoinFig1(t *testing.T) {
+	// Order y, z, x, u as in Example 5.8 (u is UDF-derived).
+	q := paper.Fig1QuasiProduct(16)
+	out, _, err := GenericJoin(q, []int{1, 2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("generic join disagrees with naive on Fig1")
+	}
+}
+
+func TestGenericJoinFig1Skew(t *testing.T) {
+	q := paper.Fig1Skew(16)
+	out, _, err := GenericJoin(q, []int{1, 2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("generic join disagrees with naive on skew instance")
+	}
+}
+
+func TestGenericJoinSkewIsQuadratic(t *testing.T) {
+	// Example 5.8: on the skew instance, FD-blind generic join with order
+	// y,z,x,u materializes Θ(N²) candidate extensions, while the output is
+	// only Θ(N). This is the separation the Chain Algorithm removes.
+	small := paper.Fig1Skew(32)
+	big := paper.Fig1Skew(64)
+	_, stSmall, err := GenericJoin(small, []int{1, 2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stBig, err := GenericJoin(big, []int{1, 2, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(stBig.Extensions) / float64(stSmall.Extensions)
+	// Doubling N should ~quadruple the work (allow slack for lower-order
+	// terms): definitely more than 3x.
+	if ratio < 3 {
+		t.Fatalf("expected quadratic work growth, got ratio %.2f (%d -> %d)",
+			ratio, stSmall.Extensions, stBig.Extensions)
+	}
+}
+
+func TestGenericJoinFig5(t *testing.T) {
+	// z appears in no relation; must be derived by the UDF.
+	q := paper.Fig5Instance(5)
+	out, _, err := GenericJoin(q, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 25 {
+		t.Fatalf("Fig5 output = %d, want 25", out.Len())
+	}
+}
+
+func TestGenericJoinM3(t *testing.T) {
+	q := paper.M3Instance(6)
+	out, _, err := GenericJoin(q, DefaultOrder(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("generic join disagrees with naive on M3")
+	}
+}
+
+func TestGenericJoinBadOrderLength(t *testing.T) {
+	q := paper.TriangleProduct(2)
+	if _, _, err := GenericJoin(q, []int{0, 1}); err == nil {
+		t.Fatal("expected error for short order")
+	}
+}
+
+func TestBinaryPlan(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		q := paper.TriangleRandom(5, 15, seed)
+		out, _, err := BinaryPlan(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rel.Equal(out, naive.Evaluate(q)) {
+			t.Fatalf("seed %d: binary plan disagrees with naive", seed)
+		}
+	}
+}
+
+func TestBinaryPlanFig1(t *testing.T) {
+	q := paper.Fig1QuasiProduct(9)
+	out, _, err := BinaryPlan(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("binary plan disagrees with naive on Fig1")
+	}
+}
+
+func TestColoredTriangleGenericJoin(t *testing.T) {
+	q := paper.ColoredTriangle(24, 2)
+	out, _, err := GenericJoin(q, DefaultOrder(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("generic join disagrees with naive on colored triangle")
+	}
+}
