@@ -1,0 +1,69 @@
+// Command benchrecord runs the paper's experiment workloads under
+// testing.Benchmark and writes a BENCH_N.json snapshot, so the repo's perf
+// trajectory is recorded machine-readably per PR (see DESIGN.md).
+//
+// Usage: go run ./cmd/benchrecord [-out BENCH_1.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/benchkit"
+	"repro/internal/chainalg"
+	"repro/internal/csma"
+	"repro/internal/naive"
+	"repro/internal/paper"
+	"repro/internal/smalg"
+	"repro/internal/wcoj"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	flag.Parse()
+
+	s := benchkit.NewSuite()
+
+	record := func(name string, f func() error) {
+		br := s.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		fmt.Printf("%-32s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			br.Name, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+	}
+
+	e1 := paper.Fig1Skew(512)
+	record("E1/chain/N=512", func() error { _, _, err := chainalg.RunBest(e1); return err })
+	record("E1/generic/N=512", func() error { _, _, err := wcoj.GenericJoin(e1, []int{1, 2, 0, 3}); return err })
+
+	e2 := paper.DegreeTriangle(256, 8)
+	record("E2/csma/d=8", func() error { _, _, err := csma.Run(e2, nil); return err })
+
+	e3 := paper.TriangleProduct(16)
+	record("E3/generic/m=16", func() error { _, _, err := wcoj.GenericJoin(e3, wcoj.DefaultOrder(e3)); return err })
+
+	e4 := paper.M3Instance(32)
+	record("E4/chain/N=32", func() error { _, _, err := chainalg.RunBest(e4); return err })
+
+	e5, _ := paper.Fig4Instance(64)
+	record("E5/sma", func() error { _, _, err := smalg.RunAuto(e5); return err })
+
+	e6, _ := paper.Fig9Instance(64)
+	record("E6/csma/N=64", func() error { _, _, err := csma.Run(e6, nil); return err })
+
+	e11 := paper.Fig1QuasiProduct(64)
+	record("E11/naive", func() error { naive.Evaluate(e11); return nil })
+
+	if err := s.WriteJSON(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -1,0 +1,62 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchResult is one recorded benchmark measurement, the unit of the
+// perf-trajectory files (BENCH_N.json) committed per PR.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Suite is a snapshot of benchmark results plus environment provenance.
+type Suite struct {
+	GoVersion string        `json:"go_version"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Recorded  string        `json:"recorded"`
+	Results   []BenchResult `json:"results"`
+}
+
+// NewSuite creates an empty suite stamped with the current environment.
+func NewSuite() *Suite {
+	return &Suite{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Recorded:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Run benchmarks f via testing.Benchmark and appends the result under name.
+// f should call b.ReportAllocs() for allocation figures to be recorded.
+func (s *Suite) Run(name string, f func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(f)
+	br := BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	s.Results = append(s.Results, br)
+	return br
+}
+
+// WriteJSON writes the suite as indented JSON to path.
+func (s *Suite) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

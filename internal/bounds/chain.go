@@ -1,8 +1,10 @@
 package bounds
 
 import (
+	"fmt"
 	"math"
 	"math/big"
+	"strings"
 
 	"repro/internal/hypergraph"
 	"repro/internal/lattice"
@@ -74,6 +76,17 @@ func ChainBound(q *query.Q, c lattice.Chain) *ChainResult {
 // elements). It returns the best finite result, or an infinite one if no
 // candidate chain is finite.
 func BestChainBound(q *query.Q, maxEnum int) *ChainResult {
+	// The best chain depends only on the FD lattice and the relation sizes;
+	// memoize per query so repeated executions (chainalg.RunBest) skip the
+	// exact-rational edge-cover solves that dominate planning cost.
+	var key strings.Builder
+	fmt.Fprintf(&key, "bestchain:%d", maxEnum)
+	for _, r := range q.Rels {
+		fmt.Fprintf(&key, ":%d", r.Len())
+	}
+	if v, ok := q.PlanCache(key.String()); ok {
+		return v.(*ChainResult)
+	}
 	l := q.Lattice()
 	inputs := q.InputElems()
 	candidates := []lattice.Chain{
@@ -97,7 +110,8 @@ func BestChainBound(q *query.Q, maxEnum int) *ChainResult {
 		}
 	}
 	if best == nil {
-		return &ChainResult{Finite: false}
+		best = &ChainResult{Finite: false}
 	}
+	q.SetPlanCache(key.String(), best)
 	return best
 }

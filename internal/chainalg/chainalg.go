@@ -61,12 +61,15 @@ func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
 		// Relations covering step i, with their projections Π_{R_j∧C_i}(R_j)
 		// indexed so that the C_{i-1}-shared attributes form the prefix.
 		type covering struct {
-			j          int
-			proj       *rel.Relation
-			ix         *rel.Index
-			sharedVars []int // vars(R_j ∧ C_{i-1}): the join attributes
-			projVars   varset.Set
-			memberIx   *rel.Index // full-row membership index
+			j           int
+			proj        *rel.Relation
+			ix          *rel.Index
+			sharedVars  []int // vars(R_j ∧ C_{i-1}): the join attributes
+			projVars    varset.Set
+			projMembers []int      // projVars.Members(), precomputed
+			memberIx    *rel.Index // full-row membership index
+			prefixBuf   []Value    // reusable Range prefix, len = |sharedVars|
+			probeBuf    []Value    // reusable membership probe, len = |projVars|
 		}
 		var covs []*covering
 		for j, r := range inputs {
@@ -78,20 +81,26 @@ func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
 			proj := expanded[j].Project(projSet)
 			prio := append(append([]int{}, sharedSet.Members()...), projSet.Diff(sharedSet).Members()...)
 			covs = append(covs, &covering{
-				j:          j,
-				proj:       proj,
-				ix:         proj.IndexOn(prio...),
-				sharedVars: sharedSet.Members(),
-				projVars:   projSet,
-				memberIx:   proj.IndexOn(projSet.Members()...),
+				j:           j,
+				proj:        proj,
+				ix:          proj.IndexOn(prio...),
+				sharedVars:  sharedSet.Members(),
+				projVars:    projSet,
+				projMembers: projSet.Members(),
+				memberIx:    proj.IndexOn(projSet.Members()...),
+				prefixBuf:   make([]Value, sharedSet.Len()),
+				probeBuf:    make([]Value, projSet.Len()),
 			})
 		}
 		if len(covs) == 0 {
 			return nil, nil, fmt.Errorf("chainalg: step %d is an isolated vertex", i)
 		}
 
-		out := rel.New(fmt.Sprintf("Q%d", i), ciVars.Members()...)
-		for _, t := range prev.Rows() {
+		ciMembers := ciVars.Members()
+		out := rel.New(fmt.Sprintf("Q%d", i), ciMembers...)
+		nt := make(rel.Tuple, len(ciMembers))
+		for ti := 0; ti < prev.Len(); ti++ {
+			t := prev.Row(ti)
 			for k, v := range prev.Attrs {
 				vals[v] = t[k]
 			}
@@ -99,11 +108,10 @@ func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
 			var best *covering
 			bestLo, bestHi := 0, 0
 			for _, cv := range covs {
-				prefix := make([]Value, len(cv.sharedVars))
 				for k, v := range cv.sharedVars {
-					prefix[k] = vals[v]
+					cv.prefixBuf[k] = vals[v]
 				}
-				lo, hi := cv.ix.Range(prefix...)
+				lo, hi := cv.ix.Range(cv.prefixBuf...)
 				st.Probes++
 				if best == nil || hi-lo < bestHi-bestLo {
 					best, bestLo, bestHi = cv, lo, hi
@@ -113,28 +121,27 @@ func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
 			// to C_i, and verify against the other covering relations.
 			for pos := bestLo; pos < bestHi; pos++ {
 				st.TuplesVisited++
+				// best.ix.Row returns the row in index priority order;
+				// Attr(k) maps position k back to its variable id.
 				row := best.ix.Row(pos)
-				for k, a := range best.proj.Attrs {
-					// best.ix.Row returns the underlying row in schema order.
-					vals[a] = row[k]
+				for k := range row {
+					vals[best.ix.Attr(k)] = row[k]
 				}
 				have := prevVars.Union(best.projVars)
-				have2, ok := e.ExpandTuple(vals, have, ciVars)
+				_, ok := e.ExpandTuple(vals, have, ciVars)
 				if !ok {
 					continue
 				}
-				_ = have2
 				okAll := true
 				for _, cv := range covs {
 					if cv == best {
 						continue
 					}
-					probe := make([]Value, 0, cv.projVars.Len())
-					for _, v := range cv.projVars.Members() {
-						probe = append(probe, vals[v])
+					for k, v := range cv.projMembers {
+						cv.probeBuf[k] = vals[v]
 					}
 					st.Probes++
-					if !cv.memberIx.Contains(probe...) {
+					if !cv.memberIx.Contains(cv.probeBuf...) {
 						okAll = false
 						break
 					}
@@ -142,8 +149,7 @@ func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
 				if !okAll {
 					continue
 				}
-				nt := make(rel.Tuple, ciVars.Len())
-				for k, v := range ciVars.Members() {
+				for k, v := range ciMembers {
 					nt[k] = vals[v]
 				}
 				out.AddTuple(nt)

@@ -194,8 +194,9 @@ func Run(q *query.Q, optsIn *Options) (*rel.Relation, *Stats, error) {
 		if idx == len(plan) {
 			top := state[l.Top]
 			if top != nil {
-				for _, t := range top.Rows() {
-					results.AddTuple(append(rel.Tuple{}, t...))
+				results.Grow(top.Len())
+				for i := 0; i < top.Len(); i++ {
+					results.AddTuple(top.Row(i))
 				}
 			}
 			return nil
@@ -271,12 +272,14 @@ func Run(q *query.Q, optsIn *Options) (*rel.Relation, *Stats, error) {
 	}
 	filtered := rel.New("Q", out.Attrs...)
 	vals := make([]rel.Value, q.K)
-	for _, t := range out.Rows() {
-		for i, v := range out.Attrs {
-			vals[v] = t[i]
+	outVarSet := out.VarSet()
+	for i := 0; i < out.Len(); i++ {
+		t := out.Row(i)
+		for c, v := range out.Attrs {
+			vals[v] = t[c]
 		}
-		if _, ok := e.Extend(vals, out.VarSet()); ok {
-			filtered.AddTuple(append(rel.Tuple{}, t...))
+		if _, ok := e.Extend(vals, outVarSet); ok {
+			filtered.AddTuple(t)
 		}
 	}
 	filtered.SortDedup()
@@ -304,7 +307,8 @@ func degreeBuckets(t *rel.Relation, zVars varset.Set) []bucket {
 	byClass := map[int]*rel.Relation{}
 	maxDeg := map[int]int{}
 	probe := make([]rel.Value, len(zCols))
-	for _, row := range t.Rows() {
+	for ri := 0; ri < t.Len(); ri++ {
+		row := t.Row(ri)
 		for i, c := range zCols {
 			probe[i] = row[c]
 		}
@@ -318,7 +322,7 @@ func degreeBuckets(t *rel.Relation, zVars varset.Set) []bucket {
 			b = rel.New(t.Name, t.Attrs...)
 			byClass[cls] = b
 		}
-		b.AddTuple(append(rel.Tuple{}, row...))
+		b.AddTuple(row)
 		if deg > maxDeg[cls] {
 			maxDeg[cls] = deg
 		}

@@ -18,32 +18,52 @@ type Value = rel.Value
 
 // guardLookup maps a From-key to the unique To-values within the guard
 // relation (uniqueness is the FD promise, validated by query.Validate).
+// Single-variable From sets — the common case — use an exact map keyed on
+// the value itself; wider keys fall back to an encoded string key.
 type guardLookup struct {
 	f       fd.FD
 	fromIdx []int // variable ids of From in ascending order
 	toIdx   []int
+	single  map[Value][]Value // non-nil iff len(fromIdx) == 1
 	m       map[string][]Value
+}
+
+func (gl *guardLookup) lookup(vals []Value) ([]Value, bool) {
+	if gl.single != nil {
+		tos, ok := gl.single[vals[gl.fromIdx[0]]]
+		return tos, ok
+	}
+	tos, ok := gl.m[keyOfVals(vals, gl.fromIdx)]
+	return tos, ok
 }
 
 // Expander precomputes per-FD lookup structures for fast tuple expansion.
 type Expander struct {
-	q      *query.Q
-	guards []*guardLookup // one per guarded FD, parallel to usable FDs
-	fds    []fd.FD
+	q       *query.Q
+	guards  []*guardLookup // one per guarded FD, parallel to usable FDs
+	fds     []fd.FD
+	fromIdx [][]int // per-FD From.Members(), precomputed
+	toIdx   [][]int // per-FD To.Members(), precomputed
+	argBuf  []Value // reusable UDF argument buffer
 }
 
 // New builds an Expander for the query.
 func New(q *query.Q) *Expander {
 	e := &Expander{q: q}
+	maxFrom := 0
 	for _, f := range q.FDs.FDs {
 		e.fds = append(e.fds, f)
+		e.fromIdx = append(e.fromIdx, f.From.Members())
+		e.toIdx = append(e.toIdx, f.To.Members())
+		if f.From.Len() > maxFrom {
+			maxFrom = f.From.Len()
+		}
 		if !f.Guarded() {
 			e.guards = append(e.guards, nil)
 			continue
 		}
 		g := q.Rels[f.Guard]
 		gl := &guardLookup{f: f, fromIdx: f.From.Members(), toIdx: f.To.Members()}
-		gl.m = make(map[string][]Value, g.Len())
 		fromCols := make([]int, len(gl.fromIdx))
 		for i, v := range gl.fromIdx {
 			fromCols[i] = g.Col(v)
@@ -52,19 +72,37 @@ func New(q *query.Q) *Expander {
 		for i, v := range gl.toIdx {
 			toCols[i] = g.Col(v)
 		}
-		for _, t := range g.Rows() {
+		if len(fromCols) == 1 {
+			gl.single = make(map[Value][]Value, g.Len())
+		} else {
+			gl.m = make(map[string][]Value, g.Len())
+		}
+		for ri := 0; ri < g.Len(); ri++ {
+			t := g.Row(ri)
+			if gl.single != nil {
+				v := t[fromCols[0]]
+				if _, ok := gl.single[v]; !ok {
+					gl.single[v] = pickCols(t, toCols)
+				}
+				continue
+			}
 			k := keyOf(t, fromCols)
 			if _, ok := gl.m[k]; !ok {
-				vals := make([]Value, len(toCols))
-				for i, c := range toCols {
-					vals[i] = t[c]
-				}
-				gl.m[k] = vals
+				gl.m[k] = pickCols(t, toCols)
 			}
 		}
 		e.guards = append(e.guards, gl)
 	}
+	e.argBuf = make([]Value, maxFrom)
 	return e
+}
+
+func pickCols(t rel.Tuple, cols []int) []Value {
+	out := make([]Value, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
 }
 
 func keyOf(t rel.Tuple, cs []int) string {
@@ -102,7 +140,7 @@ func (e *Expander) Extend(vals []Value, have varset.Set) (varset.Set, bool) {
 				continue
 			}
 			if gl := e.guards[i]; gl != nil {
-				tos, ok := gl.m[keyOfVals(vals, gl.fromIdx)]
+				tos, ok := gl.lookup(vals)
 				if !ok {
 					// The From-combination never occurs in the guard; the
 					// tuple cannot be part of the output.
@@ -125,11 +163,11 @@ func (e *Expander) Extend(vals []Value, have varset.Set) (varset.Set, bool) {
 			if f.Fns == nil {
 				continue
 			}
-			args := make([]Value, 0, f.From.Len())
-			for _, v := range f.From.Members() {
+			args := e.argBuf[:0]
+			for _, v := range e.fromIdx[i] {
 				args = append(args, vals[v])
 			}
-			for _, v := range f.To.Members() {
+			for _, v := range e.toIdx[i] {
 				fn := f.Fns[v]
 				if fn == nil {
 					continue
@@ -172,17 +210,18 @@ func (e *Expander) ExpandTuple(vals []Value, have, target varset.Set) (varset.Se
 func (e *Expander) ExpandRelation(r *rel.Relation, target varset.Set) *rel.Relation {
 	attrs := target.Members()
 	out := rel.New(r.Name+"+", attrs...)
+	out.Grow(r.Len())
 	vals := make([]Value, e.q.K)
-	for _, t := range r.Rows() {
+	nt := make(rel.Tuple, len(attrs))
+	rVars := r.VarSet()
+	for ri := 0; ri < r.Len(); ri++ {
+		t := r.Row(ri)
 		for i, v := range r.Attrs {
 			vals[v] = t[i]
 		}
-		have, ok := e.ExpandTuple(vals, r.VarSet(), target)
-		if !ok {
+		if _, ok := e.ExpandTuple(vals, rVars, target); !ok {
 			continue
 		}
-		_ = have
-		nt := make(rel.Tuple, len(attrs))
 		for i, v := range attrs {
 			nt[i] = vals[v]
 		}

@@ -27,20 +27,22 @@ func Evaluate(q *query.Q) *rel.Relation {
 		acc = rel.New("empty")
 	}
 	target := q.AllVars()
-	out := rel.New("Q", target.Members()...)
+	targetVars := target.Members()
+	out := rel.New("Q", targetVars...)
 	vals := make([]expand.Value, q.K)
+	nt := make(rel.Tuple, q.K)
 	have := acc.VarSet()
-	for _, t := range acc.Rows() {
-		for i, v := range acc.Attrs {
-			vals[v] = t[i]
+	for i := 0; i < acc.Len(); i++ {
+		t := acc.Row(i)
+		for c, v := range acc.Attrs {
+			vals[v] = t[c]
 		}
 		_, ok := e.ExpandTuple(vals, have, target)
 		if !ok {
 			continue
 		}
-		nt := make(rel.Tuple, q.K)
-		for i, v := range target.Members() {
-			nt[i] = vals[v]
+		for c, v := range targetVars {
+			nt[c] = vals[v]
 		}
 		out.AddTuple(nt)
 	}

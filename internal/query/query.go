@@ -33,7 +33,8 @@ type Q struct {
 	Rels         []*rel.Relation
 	DegreeBounds []DegreeBound
 
-	lat *lattice.Lattice
+	lat   *lattice.Lattice
+	plans map[string]any
 }
 
 // New creates a query over the given variable names with an empty FD set.
@@ -49,7 +50,25 @@ func (q *Q) AddRel(r *rel.Relation) int {
 	}
 	q.Rels = append(q.Rels, r)
 	q.lat = nil
+	q.plans = nil
 	return len(q.Rels) - 1
+}
+
+// PlanCache returns the memoized planning artifact stored under key.
+// The cache is cleared when a relation is added; callers whose artifacts
+// depend on instance sizes must fold those sizes into the key (see
+// bounds.BestChainBound).
+func (q *Q) PlanCache(key string) (any, bool) {
+	v, ok := q.plans[key]
+	return v, ok
+}
+
+// SetPlanCache memoizes a planning artifact under key.
+func (q *Q) SetPlanCache(key string, v any) {
+	if q.plans == nil {
+		q.plans = make(map[string]any, 2)
+	}
+	q.plans[key] = v
 }
 
 // AddDegreeBound registers a degree-bound constraint.

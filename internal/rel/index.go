@@ -2,61 +2,99 @@ package rel
 
 import (
 	"fmt"
-	"sort"
-
-	"repro/internal/varset"
+	"slices"
 )
 
 // Index is a sorted access path over a relation: rows ordered
 // lexicographically under a chosen variable priority. It emulates the trie
 // indexes of LFTJ/Generic-Join: prefix range lookup, degree counting, and
 // distinct-prefix iteration, each O(log N) plus output.
+//
+// The index keeps its own flat copy of the rows with columns permuted into
+// priority order and rows sorted, so every probe is a direct stride walk
+// over contiguous memory — no permutation vector, no column indirection,
+// and no closure dispatch in the binary searches. An Index is therefore a
+// consistent snapshot: mutating the relation afterwards does not affect it.
 type Index struct {
 	rel   *Relation
-	cols  []int // column positions in priority order (all columns)
+	data  []Value // n rows × arity, columns in priority order, rows sorted
+	n     int
+	arity int
 	nkey  int   // how many leading cols correspond to the requested key vars
-	perm  []int // row order
 	attrs []int // variable ids in priority order
 }
 
-// IndexOn builds an index whose sort priority starts with keyVars (in the
-// given order); the relation's remaining attributes follow in their schema
-// order. Variables in keyVars that are not attributes of r are skipped.
+// IndexOn builds (or returns a cached) index whose sort priority starts with
+// keyVars (in the given order); the relation's remaining attributes follow
+// in their schema order. Variables in keyVars that are not attributes of r
+// are skipped.
+//
+// Indexes are cached on the relation keyed by the resolved priority
+// signature; any mutation of the relation (Add, AddTuple, SortDedup)
+// invalidates the cache. Cached indexes already handed out stay valid as
+// snapshots of the relation at build time.
 func (r *Relation) IndexOn(keyVars ...int) *Index {
-	used := varset.Empty
+	used := 0
 	var cols []int
 	var attrs []int
 	for _, v := range keyVars {
 		c := r.Col(v)
-		if c < 0 || used.Contains(v) {
+		if c < 0 || slices.Contains(attrs, v) {
 			continue
 		}
-		used = used.Add(v)
 		cols = append(cols, c)
 		attrs = append(attrs, v)
 	}
 	nkey := len(cols)
+	used = nkey
 	for c, v := range r.Attrs {
-		if !used.Contains(v) {
+		if !slices.Contains(attrs[:used], v) {
 			cols = append(cols, c)
 			attrs = append(attrs, v)
 		}
 	}
-	ix := &Index{rel: r, cols: cols, nkey: nkey, attrs: attrs}
-	ix.perm = make([]int, r.Len())
-	for i := range ix.perm {
-		ix.perm[i] = i
+	sig := indexSig(attrs, nkey)
+	if ix, ok := r.cache[sig]; ok {
+		return ix
 	}
-	sort.Slice(ix.perm, func(a, b int) bool {
-		ta, tb := r.rows[ix.perm[a]], r.rows[ix.perm[b]]
-		for _, c := range cols {
-			if ta[c] != tb[c] {
-				return ta[c] < tb[c]
-			}
+
+	k := len(r.Attrs)
+	n := r.n
+	ix := &Index{rel: r, n: n, arity: k, nkey: nkey, attrs: attrs}
+	// Gather rows into priority-column order, then sort a permutation with
+	// direct stride compares and gather once more into sorted order.
+	flat := make([]Value, n*k)
+	for i := 0; i < n; i++ {
+		src := r.data[i*k:]
+		dst := flat[i*k:]
+		for p, c := range cols {
+			dst[p] = src[c]
 		}
-		return false
-	})
+	}
+	if k > 0 && n > 1 {
+		perm := sortedPerm(flat, n, k)
+		sorted := make([]Value, n*k)
+		for p, i := range perm {
+			copy(sorted[p*k:p*k+k], flat[int(i)*k:int(i)*k+k])
+		}
+		flat = sorted
+	}
+	ix.data = flat
+	if r.cache == nil {
+		r.cache = make(map[string]*Index, 2)
+	}
+	r.cache[sig] = ix
 	return ix
+}
+
+// indexSig encodes a priority order plus key-prefix length as a cache key.
+func indexSig(attrs []int, nkey int) string {
+	b := make([]byte, 0, len(attrs)+1)
+	b = append(b, byte(nkey))
+	for _, a := range attrs {
+		b = append(b, byte(a))
+	}
+	return string(b)
 }
 
 // Relation returns the indexed relation.
@@ -65,12 +103,15 @@ func (ix *Index) Relation() *Relation { return ix.rel }
 // KeyVars returns the number of leading key variables the index was built on.
 func (ix *Index) KeyVars() int { return ix.nkey }
 
-// cmpPrefix compares row (by sorted position) against a prefix of values on
-// the leading columns.
+// Len returns the number of indexed rows.
+func (ix *Index) Len() int { return ix.n }
+
+// cmpPrefix compares the row at sorted position pos against a prefix of
+// values on the leading priority columns.
 func (ix *Index) cmpPrefix(pos int, prefix []Value) int {
-	t := ix.rel.rows[ix.perm[pos]]
+	base := pos * ix.arity
 	for i, v := range prefix {
-		tv := t[ix.cols[i]]
+		tv := ix.data[base+i]
 		if tv != v {
 			if tv < v {
 				return -1
@@ -81,16 +122,47 @@ func (ix *Index) cmpPrefix(pos int, prefix []Value) int {
 	return 0
 }
 
+// searchGE returns the first sorted position whose row compares >= prefix.
+func (ix *Index) searchGE(prefix []Value) int {
+	lo, hi := 0, ix.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.cmpPrefix(mid, prefix) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// searchGT returns the first sorted position whose row compares > prefix,
+// scanning only [from, n).
+func (ix *Index) searchGT(prefix []Value, from int) int {
+	lo, hi := from, ix.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.cmpPrefix(mid, prefix) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Range returns the half-open interval [lo, hi) of sorted positions whose
-// rows match the given prefix on the index's leading columns.
+// rows match the given prefix on the index's leading columns. Passing a
+// pre-built slice (ix.Range(p...)) does not allocate.
 func (ix *Index) Range(prefix ...Value) (lo, hi int) {
-	if len(prefix) > len(ix.cols) {
+	if len(prefix) > ix.arity {
 		panic(fmt.Sprintf("rel: prefix longer than index on %s", ix.rel.Name))
 	}
-	n := len(ix.perm)
-	lo = sort.Search(n, func(i int) bool { return ix.cmpPrefix(i, prefix) >= 0 })
-	hi = sort.Search(n, func(i int) bool { return ix.cmpPrefix(i, prefix) > 0 })
-	return lo, hi
+	lo = ix.searchGE(prefix)
+	if lo == ix.n || ix.cmpPrefix(lo, prefix) != 0 {
+		return lo, lo
+	}
+	return lo, ix.searchGT(prefix, lo)
 }
 
 // Count returns the number of rows matching the prefix: the "degree" of the
@@ -100,39 +172,61 @@ func (ix *Index) Count(prefix ...Value) int {
 	return hi - lo
 }
 
-// Contains reports whether any row matches the full prefix.
+// Contains reports whether any row matches the full prefix. It costs a
+// single binary search.
 func (ix *Index) Contains(prefix ...Value) bool {
-	lo, hi := ix.Range(prefix...)
-	return hi > lo
+	if len(prefix) > ix.arity {
+		panic(fmt.Sprintf("rel: prefix longer than index on %s", ix.rel.Name))
+	}
+	lo := ix.searchGE(prefix)
+	return lo < ix.n && ix.cmpPrefix(lo, prefix) == 0
 }
 
-// Row returns the row at sorted position pos.
-func (ix *Index) Row(pos int) Tuple { return ix.rel.rows[ix.perm[pos]] }
+// Row returns the row at sorted position pos, in the index's priority
+// order (aliased into the index's flat storage): element i is the value of
+// variable Attr(i).
+func (ix *Index) Row(pos int) Tuple {
+	base := pos * ix.arity
+	return ix.data[base : base+ix.arity : base+ix.arity]
+}
 
 // Attr returns the variable id at index priority position i.
 func (ix *Index) Attr(i int) int { return ix.attrs[i] }
 
+// Attrs returns the variable ids in priority order (aliased).
+func (ix *Index) Attrs() []int { return ix.attrs }
+
 // ValueAt returns the value of the variable at priority position i in the
 // row at sorted position pos.
-func (ix *Index) ValueAt(pos, i int) Value { return ix.rel.rows[ix.perm[pos]][ix.cols[i]] }
+func (ix *Index) ValueAt(pos, i int) Value { return ix.data[pos*ix.arity+i] }
 
 // DistinctNext iterates the distinct values of the column at priority
 // position len(prefix), among rows matching prefix, calling f with each
 // value and its degree (number of matching rows). Iteration stops if f
 // returns false.
 func (ix *Index) DistinctNext(prefix []Value, f func(v Value, degree int) bool) {
+	if len(prefix) >= ix.arity {
+		panic(fmt.Sprintf("rel: DistinctNext needs an unbound column on %s", ix.rel.Name))
+	}
 	lo, hi := ix.Range(prefix...)
-	col := ix.cols[len(prefix)]
+	col := len(prefix)
+	k := ix.arity
 	for pos := lo; pos < hi; {
-		v := ix.rel.rows[ix.perm[pos]][col]
-		// Find the end of this value's run with binary search.
-		end := pos + sort.Search(hi-pos, func(i int) bool {
-			return ix.rel.rows[ix.perm[pos+i]][col] > v
-		})
-		if !f(v, end-pos) {
+		v := ix.data[pos*k+col]
+		// Binary search for the end of this value's run in (pos, hi).
+		l, h := pos+1, hi
+		for l < h {
+			mid := int(uint(l+h) >> 1)
+			if ix.data[mid*k+col] <= v {
+				l = mid + 1
+			} else {
+				h = mid
+			}
+		}
+		if !f(v, l-pos) {
 			return
 		}
-		pos = end
+		pos = l
 	}
 }
 
@@ -140,16 +234,14 @@ func (ix *Index) DistinctNext(prefix []Value, f func(v Value, degree int) bool) 
 // nkey columns: max_v |σ_{key=v}(R)|. With nkey = 0 it returns Len().
 func (ix *Index) MaxDegree(nkey int) int {
 	if nkey == 0 {
-		return ix.rel.Len()
+		return ix.n
 	}
 	max := 0
-	n := len(ix.perm)
-	for pos := 0; pos < n; {
-		prefix := make([]Value, nkey)
-		for i := 0; i < nkey; i++ {
-			prefix[i] = ix.rel.rows[ix.perm[pos]][ix.cols[i]]
-		}
-		_, hi := ix.Range(prefix...)
+	prefix := make([]Value, nkey)
+	for pos := 0; pos < ix.n; {
+		base := pos * ix.arity
+		copy(prefix, ix.data[base:base+nkey])
+		hi := ix.searchGT(prefix, pos)
 		if hi-pos > max {
 			max = hi - pos
 		}

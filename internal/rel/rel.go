@@ -5,11 +5,22 @@
 // It provides the operations the paper's algorithms need with the costs the
 // analysis assumes: prefix range lookup and degree counting in O(log N) on a
 // sorted index, hash join/semijoin in time linear in input plus output.
+//
+// Storage is flat and columnar-friendly: every relation keeps its rows in a
+// single contiguous []Value with stride = arity, so row access is a cheap
+// subslice view, appends never heap-allocate per row, and scans are
+// cache-linear. Hash joins key on an inlined 64-bit mix of the join columns
+// (with an exact map[Value] fast path for single-column keys) instead of
+// materializing string keys per probe. See DESIGN.md for the full layout,
+// the hash-key scheme, and the index cache invalidation rule.
+//
+// Relations and indexes are not safe for concurrent mutation; build and
+// share them read-only across goroutines if needed.
 package rel
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/varset"
 )
@@ -17,14 +28,18 @@ import (
 // Value is a dictionary-encoded attribute value.
 type Value = int64
 
-// Tuple is a row; its arity matches the relation's attribute list.
+// Tuple is a row view; its arity matches the relation's attribute list.
+// Tuples returned by Row alias the relation's flat storage.
 type Tuple []Value
 
 // Relation is a named relation over an ordered list of query variables.
 type Relation struct {
 	Name  string
 	Attrs []int // variable ids; column i holds the value of variable Attrs[i]
-	rows  []Tuple
+
+	data  []Value // flat row storage, stride = len(Attrs)
+	n     int     // row count (tracked separately to support arity 0)
+	cache map[string]*Index
 }
 
 // New creates an empty relation with the given attribute order.
@@ -43,32 +58,62 @@ func New(name string, attrs ...int) *Relation {
 func (r *Relation) VarSet() varset.Set { return varset.Of(r.Attrs...) }
 
 // Len returns the number of rows.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.n }
 
 // Arity returns the number of attributes.
 func (r *Relation) Arity() int { return len(r.Attrs) }
 
-// Add appends a row. The tuple is copied.
+// Grow pre-allocates capacity for n additional rows.
+func (r *Relation) Grow(n int) {
+	r.data = slices.Grow(r.data, n*len(r.Attrs))
+}
+
+// Add appends a row, copying the values into the relation's flat storage.
 func (r *Relation) Add(t ...Value) {
 	if len(t) != len(r.Attrs) {
 		panic(fmt.Sprintf("rel: arity mismatch adding to %s: got %d want %d", r.Name, len(t), len(r.Attrs)))
 	}
-	r.rows = append(r.rows, append(Tuple(nil), t...))
+	r.cache = nil
+	r.data = append(r.data, t...)
+	r.n++
 }
 
-// AddTuple appends a row without copying; the caller must not reuse t.
+// AddTuple appends a row, copying it into flat storage; the caller may
+// freely reuse t afterwards.
 func (r *Relation) AddTuple(t Tuple) {
 	if len(t) != len(r.Attrs) {
 		panic(fmt.Sprintf("rel: arity mismatch adding to %s", r.Name))
 	}
-	r.rows = append(r.rows, t)
+	r.cache = nil
+	r.data = append(r.data, t...)
+	r.n++
 }
 
-// Row returns the i-th row (aliased, not copied).
-func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+// appendRowOf copies row i of src onto the end of r. Internal fast path for
+// operators building fresh outputs with the same arity.
+func (r *Relation) appendRowOf(src *Relation, i int) {
+	k := len(src.Attrs)
+	r.data = append(r.data, src.data[i*k:i*k+k]...)
+	r.n++
+}
 
-// Rows returns the underlying row slice (aliased).
-func (r *Relation) Rows() []Tuple { return r.rows }
+// Row returns the i-th row as a view into flat storage (aliased, not
+// copied). Treat the view as read-only: writing through it mutates the
+// relation without invalidating its index cache (see IndexOn).
+func (r *Relation) Row(i int) Tuple {
+	k := len(r.Attrs)
+	return r.data[i*k : i*k+k : i*k+k]
+}
+
+// Rows materializes a slice of row views. It allocates one slice header per
+// row; hot paths should iterate with Len/Row instead.
+func (r *Relation) Rows() []Tuple {
+	out := make([]Tuple, r.n)
+	for i := range out {
+		out[i] = r.Row(i)
+	}
+	return out
+}
 
 // Col returns the column position of variable v, or -1.
 func (r *Relation) Col(v int) int {
@@ -87,71 +132,97 @@ func (r *Relation) Value(i int, v int) Value {
 	if c < 0 {
 		panic(fmt.Sprintf("rel: relation %s has no attribute %d", r.Name, v))
 	}
-	return r.rows[i][c]
+	return r.data[i*len(r.Attrs)+c]
 }
 
 // Clone deep-copies the relation.
 func (r *Relation) Clone() *Relation {
 	c := New(r.Name, r.Attrs...)
-	c.rows = make([]Tuple, len(r.rows))
-	for i, t := range r.rows {
-		c.rows[i] = append(Tuple(nil), t...)
-	}
+	c.data = append([]Value(nil), r.data...)
+	c.n = r.n
 	return c
+}
+
+// cmpRowsAt lexicographically compares rows starting at flat offsets a and b.
+func cmpRowsAt(data []Value, a, b, k int) int {
+	return cmpRowsAt2(data, data, a, b, k)
 }
 
 // SortDedup sorts rows lexicographically in attribute order and removes
 // duplicates.
 func (r *Relation) SortDedup() {
-	sort.Slice(r.rows, func(i, j int) bool { return lexLess(r.rows[i], r.rows[j]) })
-	out := r.rows[:0]
-	for i, t := range r.rows {
-		if i == 0 || !tupleEq(t, r.rows[i-1]) {
-			out = append(out, t)
+	r.cache = nil
+	k := len(r.Attrs)
+	if k == 0 {
+		if r.n > 1 {
+			r.n = 1 // all zero-arity rows are equal
 		}
+		return
 	}
-	r.rows = out
+	if r.n <= 1 {
+		return
+	}
+	perm := sortedPerm(r.data, r.n, k)
+	// Gather in sorted order, skipping duplicates of the previous kept row.
+	out := make([]Value, 0, len(r.data))
+	n := 0
+	for _, p := range perm {
+		base := int(p) * k
+		if n > 0 && cmpRowsAt2(out, r.data, len(out)-k, base, k) == 0 {
+			continue
+		}
+		out = append(out, r.data[base:base+k]...)
+		n++
+	}
+	r.data = out
+	r.n = n
 }
 
-func lexLess(a, b Tuple) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
+// sortedPerm returns row indices sorted by lexicographic row order.
+func sortedPerm(data []Value, n, k int) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
 	}
-	return false
+	slices.SortFunc(perm, func(a, b int32) int {
+		return cmpRowsAt(data, int(a)*k, int(b)*k, k)
+	})
+	return perm
 }
 
-func tupleEq(a, b Tuple) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+// cmpRowsAt2 compares a row in da (at offset a) against a row in db (at b).
+func cmpRowsAt2(da, db []Value, a, b, k int) int {
+	for i := 0; i < k; i++ {
+		av, bv := da[a+i], db[b+i]
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
 		}
 	}
-	return true
+	return 0
 }
 
 // Project returns the projection of r onto the given variables (ascending
 // variable order), with duplicates removed.
 func (r *Relation) Project(vars varset.Set) *Relation {
 	keep := vars.Intersect(r.VarSet())
-	cols := make([]int, 0, keep.Len())
 	attrs := keep.Members()
-	for _, v := range attrs {
-		cols = append(cols, r.Col(v))
+	cols := make([]int, len(attrs))
+	for i, v := range attrs {
+		cols[i] = r.Col(v)
 	}
 	out := New(r.Name+"_proj", attrs...)
-	out.rows = make([]Tuple, 0, len(r.rows))
-	for _, t := range r.rows {
-		nt := make(Tuple, len(cols))
-		for i, c := range cols {
-			nt[i] = t[c]
+	k := len(r.Attrs)
+	out.data = make([]Value, 0, r.n*len(cols))
+	for i := 0; i < r.n; i++ {
+		base := i * k
+		for _, c := range cols {
+			out.data = append(out.data, r.data[base+c])
 		}
-		out.rows = append(out.rows, nt)
 	}
+	out.n = r.n
 	out.SortDedup()
 	return out
 }
@@ -164,26 +235,126 @@ func Equal(a, b *Relation) bool {
 	}
 	ap := a.Project(a.VarSet())
 	bp := b.Project(b.VarSet())
-	if ap.Len() != bp.Len() {
+	if ap.n != bp.n {
 		return false
 	}
-	for i := range ap.rows {
-		if !tupleEq(ap.rows[i], bp.rows[i]) {
+	return slices.Equal(ap.data, bp.data)
+}
+
+// --- hash infrastructure ---
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashCols mixes the values of the given columns of the row at flat offset
+// base with a word-wise FNV-1a variant plus a final avalanche, so distinct
+// key tuples spread over the full 64-bit space. Collisions are possible and
+// callers verify candidates with eqCols; the single-column fast path in
+// hashTable is exact and needs no verification.
+func hashCols(data []Value, base int, cols []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range cols {
+		h ^= uint64(data[base+c])
+		h *= fnvPrime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// eqCols reports whether row i of ra (on colsA) equals row j of rb (on
+// colsB) position-wise.
+func eqCols(ra *Relation, i int, rb *Relation, j int, colsA, colsB []int) bool {
+	ba, bb := i*len(ra.Attrs), j*len(rb.Attrs)
+	for x := range colsA {
+		if ra.data[ba+colsA[x]] != rb.data[bb+colsB[x]] {
 			return false
 		}
 	}
 	return true
 }
 
-// key encodes the values of the given column positions as a map key.
-func key(t Tuple, cols []int) string {
-	b := make([]byte, 0, len(cols)*8)
-	for _, c := range cols {
-		v := uint64(t[c])
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+// hashTable is a build-side hash index over the key columns of a relation.
+// With a single key column it is exact (keyed on the value itself); with
+// zero or several columns it is keyed on a 64-bit mix and probes must verify
+// candidates against genuine hash collisions.
+type hashTable struct {
+	rel    *Relation
+	cols   []int
+	single map[Value][]int32  // non-nil iff len(cols) == 1
+	multi  map[uint64][]int32 // otherwise
+}
+
+// buildHash indexes r on cols. With needRows the table retains every
+// matching row id (for joins); without it only key membership is retained
+// (one representative row per distinct key, for semijoin-style probes).
+func buildHash(r *Relation, cols []int, needRows bool) *hashTable {
+	ht := &hashTable{rel: r, cols: cols}
+	k := len(r.Attrs)
+	if len(cols) == 1 {
+		m := make(map[Value][]int32, r.n)
+		c := cols[0]
+		for i := 0; i < r.n; i++ {
+			v := r.data[i*k+c]
+			if needRows {
+				m[v] = append(m[v], int32(i))
+			} else if _, ok := m[v]; !ok {
+				m[v] = nil
+			}
+		}
+		ht.single = m
+		return ht
 	}
-	return string(b)
+	m := make(map[uint64][]int32, r.n)
+	for i := 0; i < r.n; i++ {
+		h := hashCols(r.data, i*k, cols)
+		if needRows {
+			m[h] = append(m[h], int32(i))
+			continue
+		}
+		cand := m[h]
+		dup := false
+		for _, j := range cand {
+			if eqCols(r, int(j), r, i, cols, cols) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			m[h] = append(m[h], int32(i))
+		}
+	}
+	ht.multi = m
+	return ht
+}
+
+// candidates returns the build-side rows hashing like row ip of rp (keyed on
+// pcols). On the multi path the caller must still verify with eqCols.
+func (ht *hashTable) candidates(rp *Relation, ip int, pcols []int) []int32 {
+	base := ip * len(rp.Attrs)
+	if ht.single != nil {
+		return ht.single[rp.data[base+pcols[0]]]
+	}
+	return ht.multi[hashCols(rp.data, base, pcols)]
+}
+
+// contains reports whether some build-side row matches row ip of rp exactly
+// on the key columns.
+func (ht *hashTable) contains(rp *Relation, ip int, pcols []int) bool {
+	base := ip * len(rp.Attrs)
+	if ht.single != nil {
+		_, ok := ht.single[rp.data[base+pcols[0]]]
+		return ok
+	}
+	for _, j := range ht.multi[hashCols(rp.data, base, pcols)] {
+		if eqCols(ht.rel, int(j), rp, ip, ht.cols, pcols) {
+			return true
+		}
+	}
+	return false
 }
 
 // sharedCols returns the column positions in a and b of their shared
@@ -197,26 +368,18 @@ func sharedCols(a, b *Relation) (ca, cb []int) {
 	return ca, cb
 }
 
-// Join computes the natural join of a and b with a hash join. The output
-// attribute order is a's attributes followed by b's non-shared attributes.
+// Join computes the natural join of a and b with a hash join, building the
+// hash table on the smaller side. The output attribute order is a's
+// attributes followed by b's non-shared attributes, regardless of which
+// side is hashed.
 func Join(a, b *Relation) *Relation {
 	ca, cb := sharedCols(a, b)
-	// Hash the smaller side.
-	if b.Len() < a.Len() {
-		// Keep output schema stable regardless of which side is hashed.
-		return joinHashB(a, b, ca, cb)
-	}
-	return joinHashB(a, b, ca, cb)
-}
-
-func joinHashB(a, b *Relation, ca, cb []int) *Relation {
 	bShared := varset.Empty
 	for _, c := range cb {
 		bShared = bShared.Add(b.Attrs[c])
 	}
 	var extraCols []int
-	var outAttrs []int
-	outAttrs = append(outAttrs, a.Attrs...)
+	outAttrs := append([]int(nil), a.Attrs...)
 	for i, v := range b.Attrs {
 		if !bShared.Contains(v) {
 			extraCols = append(extraCols, i)
@@ -224,19 +387,41 @@ func joinHashB(a, b *Relation, ca, cb []int) *Relation {
 		}
 	}
 	out := New(a.Name+"⋈"+b.Name, outAttrs...)
-	h := make(map[string][]int, b.Len())
-	for i, t := range b.rows {
-		k := key(t, cb)
-		h[k] = append(h[k], i)
+	if a.n == 0 || b.n == 0 {
+		return out
 	}
-	for _, t := range a.rows {
-		for _, bi := range h[key(t, ca)] {
-			nt := make(Tuple, 0, len(outAttrs))
-			nt = append(nt, t...)
-			for _, c := range extraCols {
-				nt = append(nt, b.rows[bi][c])
+	ka, kb := len(a.Attrs), len(b.Attrs)
+	if b.n <= a.n {
+		ht := buildHash(b, cb, true)
+		for i := 0; i < a.n; i++ {
+			abase := i * ka
+			for _, bj := range ht.candidates(a, i, ca) {
+				if ht.multi != nil && !eqCols(b, int(bj), a, i, cb, ca) {
+					continue
+				}
+				out.data = append(out.data, a.data[abase:abase+ka]...)
+				bbase := int(bj) * kb
+				for _, c := range extraCols {
+					out.data = append(out.data, b.data[bbase+c])
+				}
+				out.n++
 			}
-			out.rows = append(out.rows, nt)
+		}
+	} else {
+		ht := buildHash(a, ca, true)
+		for j := 0; j < b.n; j++ {
+			bbase := j * kb
+			for _, ai := range ht.candidates(b, j, cb) {
+				if ht.multi != nil && !eqCols(a, int(ai), b, j, ca, cb) {
+					continue
+				}
+				abase := int(ai) * ka
+				out.data = append(out.data, a.data[abase:abase+ka]...)
+				for _, c := range extraCols {
+					out.data = append(out.data, b.data[bbase+c])
+				}
+				out.n++
+			}
 		}
 	}
 	return out
@@ -245,14 +430,12 @@ func joinHashB(a, b *Relation, ca, cb []int) *Relation {
 // Semijoin returns the rows of a that join with at least one row of b.
 func Semijoin(a, b *Relation) *Relation {
 	ca, cb := sharedCols(a, b)
-	h := make(map[string]bool, b.Len())
-	for _, t := range b.rows {
-		h[key(t, cb)] = true
-	}
+	ht := buildHash(b, cb, false)
 	out := New(a.Name, a.Attrs...)
-	for _, t := range a.rows {
-		if h[key(t, ca)] {
-			out.rows = append(out.rows, append(Tuple(nil), t...))
+	out.data = make([]Value, 0, len(a.data))
+	for i := 0; i < a.n; i++ {
+		if ht.contains(a, i, ca) {
+			out.appendRowOf(a, i)
 		}
 	}
 	return out
@@ -261,14 +444,12 @@ func Semijoin(a, b *Relation) *Relation {
 // Antijoin returns the rows of a that join with no row of b.
 func Antijoin(a, b *Relation) *Relation {
 	ca, cb := sharedCols(a, b)
-	h := make(map[string]bool, b.Len())
-	for _, t := range b.rows {
-		h[key(t, cb)] = true
-	}
+	ht := buildHash(b, cb, false)
 	out := New(a.Name, a.Attrs...)
-	for _, t := range a.rows {
-		if !h[key(t, ca)] {
-			out.rows = append(out.rows, append(Tuple(nil), t...))
+	out.data = make([]Value, 0, len(a.data))
+	for i := 0; i < a.n; i++ {
+		if !ht.contains(a, i, ca) {
+			out.appendRowOf(a, i)
 		}
 	}
 	return out
@@ -289,19 +470,20 @@ func Union(a, b *Relation) *Relation {
 		panic("rel: Union schema mismatch")
 	}
 	out := New(a.Name+"∪"+b.Name, a.Attrs...)
-	for _, t := range a.rows {
-		out.rows = append(out.rows, append(Tuple(nil), t...))
-	}
+	out.data = make([]Value, 0, len(a.data)+len(b.data))
+	out.data = append(out.data, a.data...)
+	out.n = a.n
 	cols := make([]int, len(a.Attrs))
 	for i, v := range a.Attrs {
 		cols[i] = b.Col(v)
 	}
-	for _, t := range b.rows {
-		nt := make(Tuple, len(cols))
-		for i, c := range cols {
-			nt[i] = t[c]
+	kb := len(b.Attrs)
+	for j := 0; j < b.n; j++ {
+		base := j * kb
+		for _, c := range cols {
+			out.data = append(out.data, b.data[base+c])
 		}
-		out.rows = append(out.rows, nt)
+		out.n++
 	}
 	out.SortDedup()
 	return out

@@ -287,3 +287,319 @@ func TestIndexCountAgainstScan(t *testing.T) {
 		}
 	}
 }
+
+// --- randomized property tests against nested-loop references ---
+
+func randRel(rng *rand.Rand, name string, attrs []int, rows, dom int) *Relation {
+	r := New(name, attrs...)
+	t := make(Tuple, len(attrs))
+	for i := 0; i < rows; i++ {
+		for j := range t {
+			t[j] = Value(rng.Intn(dom))
+		}
+		r.AddTuple(t)
+	}
+	return r
+}
+
+// refJoin is a nested-loop natural join with a's attrs followed by b's
+// non-shared attrs — the documented Join output schema.
+func refJoin(a, b *Relation) *Relation {
+	shared := a.VarSet().Intersect(b.VarSet())
+	outAttrs := append([]int(nil), a.Attrs...)
+	var extra []int
+	for _, v := range b.Attrs {
+		if !shared.Contains(v) {
+			outAttrs = append(outAttrs, v)
+			extra = append(extra, v)
+		}
+	}
+	out := New("ref", outAttrs...)
+	nt := make(Tuple, len(outAttrs))
+	for i := 0; i < a.Len(); i++ {
+		ta := a.Row(i)
+		for j := 0; j < b.Len(); j++ {
+			match := true
+			for _, v := range shared.Members() {
+				if a.Value(i, v) != b.Value(j, v) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			copy(nt, ta)
+			for k, v := range extra {
+				nt[len(ta)+k] = b.Value(j, v)
+			}
+			out.AddTuple(nt)
+		}
+	}
+	return out
+}
+
+func refSemi(a, b *Relation, anti bool) *Relation {
+	shared := a.VarSet().Intersect(b.VarSet())
+	out := New(a.Name, a.Attrs...)
+	for i := 0; i < a.Len(); i++ {
+		found := false
+		for j := 0; j < b.Len() && !found; j++ {
+			match := true
+			for _, v := range shared.Members() {
+				if a.Value(i, v) != b.Value(j, v) {
+					match = false
+					break
+				}
+			}
+			found = match
+		}
+		if found != anti {
+			out.AddTuple(a.Row(i))
+		}
+	}
+	return out
+}
+
+// Property: Join/Semijoin/Antijoin/Union/Project agree with nested-loop
+// references on random instances, across arities, shared-variable counts,
+// and both hash-side choices (relative sizes vary).
+func TestOperatorsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	shapes := []struct {
+		aAttrs, bAttrs []int
+	}{
+		{[]int{0, 1}, []int{1, 2}},       // one shared var (single-col fast path)
+		{[]int{0, 1, 2}, []int{1, 2, 3}}, // two shared vars (hash-mix path)
+		{[]int{0, 1}, []int{0, 1}},       // fully shared
+		{[]int{0}, []int{1}},             // disjoint: cross product
+	}
+	for trial := 0; trial < 60; trial++ {
+		sh := shapes[trial%len(shapes)]
+		na, nb := rng.Intn(40), rng.Intn(40)
+		if trial%2 == 0 {
+			na, nb = nb, na // exercise both build sides
+		}
+		a := randRel(rng, "A", sh.aAttrs, na, 4)
+		b := randRel(rng, "B", sh.bAttrs, nb, 4)
+
+		got, want := Join(a, b), refJoin(a, b)
+		if len(got.Attrs) != len(want.Attrs) {
+			t.Fatalf("trial %d: join schema %v want %v", trial, got.Attrs, want.Attrs)
+		}
+		for i, v := range want.Attrs {
+			if got.Attrs[i] != v {
+				t.Fatalf("trial %d: join schema order %v want %v", trial, got.Attrs, want.Attrs)
+			}
+		}
+		got.SortDedup()
+		want.SortDedup()
+		if !Equal(got, want) {
+			t.Fatalf("trial %d: join mismatch (|a|=%d |b|=%d)", trial, a.Len(), b.Len())
+		}
+
+		if !Equal(Semijoin(a, b), refSemi(a, b, false)) {
+			t.Fatalf("trial %d: semijoin mismatch", trial)
+		}
+		if !Equal(Antijoin(a, b), refSemi(a, b, true)) {
+			t.Fatalf("trial %d: antijoin mismatch", trial)
+		}
+
+		// Union over a common schema (remap b onto a's attrs).
+		b2 := randRel(rng, "B2", sh.aAttrs, nb, 4)
+		u := Union(a, b2)
+		for i := 0; i < a.Len(); i++ {
+			if refSemi(u, a, false).Len() == 0 && a.Len() > 0 {
+				t.Fatalf("trial %d: union lost rows of a", trial)
+			}
+		}
+		wantU := a.Clone()
+		for j := 0; j < b2.Len(); j++ {
+			wantU.AddTuple(b2.Row(j))
+		}
+		wantU.SortDedup()
+		if !Equal(u, wantU) {
+			t.Fatalf("trial %d: union mismatch", trial)
+		}
+
+		// Project onto a random subset of a's vars.
+		sub := varset.Empty
+		for _, v := range sh.aAttrs {
+			if rng.Intn(2) == 0 {
+				sub = sub.Add(v)
+			}
+		}
+		p := a.Project(sub)
+		seen := map[string]bool{}
+		for i := 0; i < p.Len(); i++ {
+			seen[fmtRow(p.Row(i))] = true
+		}
+		wantSeen := map[string]bool{}
+		cols := make([]int, 0)
+		for _, v := range sub.Intersect(a.VarSet()).Members() {
+			cols = append(cols, a.Col(v))
+		}
+		buf := make(Tuple, len(cols))
+		for i := 0; i < a.Len(); i++ {
+			for k, c := range cols {
+				buf[k] = a.Row(i)[c]
+			}
+			wantSeen[fmtRow(buf)] = true
+		}
+		if len(seen) != len(wantSeen) {
+			t.Fatalf("trial %d: project cardinality %d want %d", trial, len(seen), len(wantSeen))
+		}
+		for k := range wantSeen {
+			if !seen[k] {
+				t.Fatalf("trial %d: project missing row %q", trial, k)
+			}
+		}
+	}
+}
+
+func fmtRow(t Tuple) string {
+	b := make([]byte, 0, len(t)*3)
+	for _, v := range t {
+		b = append(b, byte('0'+v), ',')
+	}
+	return string(b)
+}
+
+// The smaller side must be hashed, but the documented output schema
+// (a.Attrs ++ b's extras) must hold regardless of which side that is.
+func TestJoinSideSwapSchemaStable(t *testing.T) {
+	big := New("Big", 0, 1)
+	for i := Value(0); i < 100; i++ {
+		big.Add(i%10, i)
+	}
+	small := New("Small", 1, 2)
+	small.Add(5, 50)
+	for _, pair := range [][2]*Relation{{big, small}, {small, big}} {
+		a, b := pair[0], pair[1]
+		j := Join(a, b)
+		wantAttrs := append([]int(nil), a.Attrs...)
+		for _, v := range b.Attrs {
+			if a.Col(v) < 0 {
+				wantAttrs = append(wantAttrs, v)
+			}
+		}
+		if len(j.Attrs) != len(wantAttrs) {
+			t.Fatalf("schema %v want %v", j.Attrs, wantAttrs)
+		}
+		for i, v := range wantAttrs {
+			if j.Attrs[i] != v {
+				t.Fatalf("schema %v want %v", j.Attrs, wantAttrs)
+			}
+		}
+	}
+}
+
+// --- flat-storage and index-cache behaviour ---
+
+func TestRowIsViewAndAddCopies(t *testing.T) {
+	r := New("R", 0, 1)
+	buf := Tuple{1, 2}
+	r.AddTuple(buf)
+	buf[0] = 99 // AddTuple must have copied
+	if r.Row(0)[0] != 1 {
+		t.Fatal("AddTuple aliased the caller's buffer")
+	}
+}
+
+func TestZeroArityRelation(t *testing.T) {
+	r := New("unit")
+	r.Add()
+	r.Add()
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	r.SortDedup()
+	if r.Len() != 1 {
+		t.Fatalf("zero-arity dedup: len = %d, want 1", r.Len())
+	}
+	ix := r.IndexOn()
+	if lo, hi := ix.Range(); lo != 0 || hi != 1 {
+		t.Fatalf("Range() = [%d,%d)", lo, hi)
+	}
+}
+
+func TestIndexCacheReuseAndInvalidation(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(1, 2)
+	ix1 := r.IndexOn(0)
+	if r.IndexOn(0) != ix1 {
+		t.Fatal("identical priority should hit the cache")
+	}
+	// Same resolved priority via a foreign leading var also hits.
+	if r.IndexOn(0, 7) != ix1 {
+		t.Fatal("foreign vars are skipped before the cache key is formed")
+	}
+	// Different nkey must be a distinct index even with identical order.
+	if r.IndexOn(0, 1) == ix1 {
+		t.Fatal("different key-prefix length must not alias")
+	}
+	r.Add(3, 4)
+	ix2 := r.IndexOn(0)
+	if ix2 == ix1 {
+		t.Fatal("mutation must invalidate the cache")
+	}
+	// The old index stays a consistent snapshot of build time.
+	if ix1.Count(3) != 0 || ix1.Len() != 1 {
+		t.Fatal("old index saw the mutation")
+	}
+	if ix2.Count(3) != 1 {
+		t.Fatal("new index missing the new row")
+	}
+}
+
+func TestIndexRowPriorityOrder(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(7, 8)
+	ix := r.IndexOn(1) // priority (1, 0)
+	row := ix.Row(0)
+	if row[0] != 8 || row[1] != 7 {
+		t.Fatalf("Row not in priority order: %v", row)
+	}
+	if ix.ValueAt(0, 0) != 8 || ix.ValueAt(0, 1) != 7 {
+		t.Fatal("ValueAt not in priority order")
+	}
+}
+
+// Alloc regression: single-column Semijoin must stay O(1) allocations per
+// call (hash table + output buffer), not O(rows) as with string keys.
+func TestSemijoinAllocRegression(t *testing.T) {
+	a := New("A", 0, 1)
+	for i := 0; i < 4096; i++ {
+		a.Add(Value(i%64), Value(i))
+	}
+	b := New("B", 1)
+	for i := 0; i < 512; i++ {
+		b.Add(Value(i * 2))
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if Semijoin(a, b).Len() == 0 {
+			t.Fatal("empty semijoin")
+		}
+	})
+	if allocs > 20 {
+		t.Fatalf("single-column Semijoin allocates %v times per op, want ≤ 20", allocs)
+	}
+}
+
+// Index probes must not allocate at all.
+func TestIndexProbeAllocRegression(t *testing.T) {
+	r := New("R", 0, 1)
+	for i := 0; i < 2048; i++ {
+		r.Add(Value(i%97), Value(i))
+	}
+	ix := r.IndexOn(0)
+	prefix := []Value{13}
+	allocs := testing.AllocsPerRun(100, func() {
+		if ix.Count(prefix...) == 0 || !ix.Contains(prefix...) {
+			t.Fatal("probe failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("index probes allocate %v times per op, want 0", allocs)
+	}
+}

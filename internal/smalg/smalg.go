@@ -54,15 +54,16 @@ func Run(q *query.Q, llp *bounds.LLPResult, proof *Proof) (*rel.Relation, *Stats
 		lite = rel.New("Lite", zProj.Attrs...)
 		heavy = rel.New("Heavy", zProj.Attrs...)
 		ix := ty.IndexOn(zVars.Members()...)
-		for _, row := range zProj.Rows() {
+		for ri := 0; ri < zProj.Len(); ri++ {
+			row := zProj.Row(ri)
 			deg := ix.Count(row...)
 			if deg == 0 {
 				continue
 			}
 			if math.Log2(float64(deg)) <= threshold+eps {
-				lite.AddTuple(append(rel.Tuple{}, row...))
+				lite.AddTuple(row)
 			} else {
-				heavy.AddTuple(append(rel.Tuple{}, row...))
+				heavy.AddTuple(row)
 			}
 		}
 		st.HeavySizes = append(st.HeavySizes, heavy.Len())
@@ -102,12 +103,14 @@ func Run(q *query.Q, llp *bounds.LLPResult, proof *Proof) (*rel.Relation, *Stats
 	// Final FD-consistency filter (covers UDF FDs not witnessed by inputs).
 	filtered := rel.New("Q", out.Attrs...)
 	vals := make([]rel.Value, q.K)
-	for _, t := range out.Rows() {
-		for i, v := range out.Attrs {
-			vals[v] = t[i]
+	outVarSet := out.VarSet()
+	for i := 0; i < out.Len(); i++ {
+		t := out.Row(i)
+		for c, v := range out.Attrs {
+			vals[v] = t[c]
 		}
-		if _, ok := e.Extend(vals, out.VarSet()); ok {
-			filtered.AddTuple(append(rel.Tuple{}, t...))
+		if _, ok := e.Extend(vals, outVarSet); ok {
+			filtered.AddTuple(t)
 		}
 	}
 	filtered.SortDedup()

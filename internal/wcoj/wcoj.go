@@ -45,6 +45,7 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 		r       *rel.Relation
 		ix      *rel.Index
 		attrSet varset.Set
+		pbuf    []Value // reusable prefix buffer, len = arity
 	}
 	rixs := make([]*relIx, len(q.Rels))
 	for j, r := range q.Rels {
@@ -54,34 +55,40 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 				prio = append(prio, v)
 			}
 		}
-		rixs[j] = &relIx{r: r, ix: r.IndexOn(prio...), attrSet: r.VarSet()}
+		rixs[j] = &relIx{r: r, ix: r.IndexOn(prio...), attrSet: r.VarSet(),
+			pbuf: make([]Value, r.Arity())}
 	}
 
-	out := rel.New("Q", q.AllVars().Members()...)
+	outVars := q.AllVars().Members()
+	out := rel.New("Q", outVars...)
 	vals := make([]Value, q.K)
+	ntBuf := make(rel.Tuple, q.K)
+	// Per-depth scratch for saving vals around FD propagation; depth ≤ K.
+	saveStack := make([]Value, (q.K+1)*q.K)
 
-	// prefixFor returns the values of r's attributes bound so far, in the
-	// relation's index priority order.
+	// prefixFor fills ri.pbuf with the values of r's attributes bound so
+	// far, in the relation's index priority order, and returns the filled
+	// prefix. The result is only valid until the next call on the same ri.
 	prefixFor := func(ri *relIx, have varset.Set) []Value {
-		var p []Value
+		n := 0
 		for i := 0; i < ri.r.Arity(); i++ {
 			v := ri.ix.Attr(i)
 			if !have.Contains(v) {
 				break
 			}
-			p = append(p, vals[v])
+			ri.pbuf[n] = vals[v]
+			n++
 		}
-		return p
+		return ri.pbuf[:n]
 	}
 
 	var rec func(d int, have varset.Set) error
 	rec = func(d int, have varset.Set) error {
 		if d == q.K {
-			nt := make(rel.Tuple, q.K)
-			for i, v := range q.AllVars().Members() {
-				nt[i] = vals[v]
+			for i, v := range outVars {
+				ntBuf[i] = vals[v]
 			}
-			out.AddTuple(nt)
+			out.AddTuple(ntBuf)
 			return nil
 		}
 		v := order[d]
@@ -142,7 +149,7 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 				}
 			}
 			// FD propagation + consistency (LFTJ footnote-1 behaviour).
-			save := make([]Value, len(vals))
+			save := saveStack[d*q.K : (d+1)*q.K]
 			copy(save, vals)
 			have2, ok := e.Extend(vals, have.Add(v))
 			if ok {
@@ -185,18 +192,21 @@ func BinaryPlan(q *query.Q, relOrder []int) (*rel.Relation, *Stats, error) {
 	}
 	e := expand.New(q)
 	target := q.AllVars()
-	out := rel.New("Q", target.Members()...)
+	targetVars := target.Members()
+	out := rel.New("Q", targetVars...)
 	vals := make([]Value, q.K)
-	for _, t := range acc.Rows() {
-		for i, v := range acc.Attrs {
-			vals[v] = t[i]
+	nt := make(rel.Tuple, q.K)
+	accVars := acc.VarSet()
+	for i := 0; i < acc.Len(); i++ {
+		t := acc.Row(i)
+		for c, v := range acc.Attrs {
+			vals[v] = t[c]
 		}
-		if _, ok := e.ExpandTuple(vals, acc.VarSet(), target); !ok {
+		if _, ok := e.ExpandTuple(vals, accVars, target); !ok {
 			continue
 		}
-		nt := make(rel.Tuple, q.K)
-		for i, v := range target.Members() {
-			nt[i] = vals[v]
+		for c, v := range targetVars {
+			nt[c] = vals[v]
 		}
 		out.AddTuple(nt)
 	}
