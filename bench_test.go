@@ -4,11 +4,13 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/bounds"
 	"repro/internal/chainalg"
 	"repro/internal/csma"
+	"repro/internal/engine"
 	"repro/internal/lattice"
 	"repro/internal/naive"
 	"repro/internal/paper"
@@ -164,6 +166,32 @@ func BenchmarkE12SimpleFDs(b *testing.B) {
 		if _, _, err := chainalg.RunBest(q); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Engine layer: prepared-query execution, sequential vs hash-partitioned
+// across a worker pool. On multi-core hardware the partitioned runs scale
+// with the pool; on one core they sit at parity for output-dominated
+// workloads (see DESIGN.md).
+func BenchmarkEngineParallel(b *testing.B) {
+	q := paper.SimpleFDChain(4, 512)
+	p, err := engine.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := p.Bind(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bound.Run(ctx, &engine.Options{Workers: workers, MinParallelRows: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,10 +2,11 @@
 // testing.Benchmark and writes a BENCH_N.json snapshot, so the repo's perf
 // trajectory is recorded machine-readably per PR (see DESIGN.md).
 //
-// Usage: go run ./cmd/benchrecord [-out BENCH_1.json]
+// Usage: go run ./cmd/benchrecord [-out BENCH_2.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -14,14 +15,16 @@ import (
 	"repro/internal/benchkit"
 	"repro/internal/chainalg"
 	"repro/internal/csma"
+	"repro/internal/engine"
 	"repro/internal/naive"
 	"repro/internal/paper"
+	"repro/internal/query"
 	"repro/internal/smalg"
 	"repro/internal/wcoj"
 )
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output JSON path")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
 	flag.Parse()
 
 	s := benchkit.NewSuite()
@@ -60,6 +63,39 @@ func main() {
 
 	e11 := paper.Fig1QuasiProduct(64)
 	record("E11/naive", func() error { naive.Evaluate(e11); return nil })
+
+	// Engine layer: parallel partitioned execution vs sequential on the
+	// same bound instance (the plan is cached after the first run, so both
+	// measure execution, not LP solves).
+	ctx := context.Background()
+	engineBound := func(q *query.Q) *engine.Bound {
+		p, err := engine.Prepare(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrecord:", err)
+			os.Exit(1)
+		}
+		b, err := p.Bind(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrecord:", err)
+			os.Exit(1)
+		}
+		return b
+	}
+	runWith := func(b *engine.Bound, workers int) func() error {
+		return func() error {
+			_, _, err := b.Run(ctx, &engine.Options{Workers: workers, MinParallelRows: 1})
+			return err
+		}
+	}
+	bE1 := engineBound(paper.Fig1Skew(1024))
+	record("engine/E1/seq/N=1024", runWith(bE1, 1))
+	record("engine/E1/par4/N=1024", runWith(bE1, 4))
+	bE3 := engineBound(paper.TriangleProduct(24))
+	record("engine/E3/seq/m=24", runWith(bE3, 1))
+	record("engine/E3/par4/m=24", runWith(bE3, 4))
+	bE12 := engineBound(paper.SimpleFDChain(5, 512))
+	record("engine/E12/seq/N=512", runWith(bE12, 1))
+	record("engine/E12/par4/N=512", runWith(bE12, 4))
 
 	if err := s.WriteJSON(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -19,10 +20,12 @@ import (
 	"repro/internal/chainalg"
 	"repro/internal/core"
 	"repro/internal/csma"
+	"repro/internal/engine"
 	"repro/internal/lattice"
 	"repro/internal/naive"
 	"repro/internal/paper"
 	"repro/internal/query"
+	"repro/internal/rel"
 	"repro/internal/smalg"
 	"repro/internal/varset"
 	"repro/internal/wcoj"
@@ -32,8 +35,9 @@ func main() {
 	all := map[string]func(){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
 		"E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11, "E12": e12,
+		"E13": e13,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	args := os.Args[1:]
 	if len(args) == 0 {
 		args = order
@@ -346,6 +350,74 @@ func e12() {
 	}
 	fmt.Println(t)
 }
+
+// E13: engine layer — the cost-based planner's choice per workload, and
+// parallel partitioned execution vs. sequential on the larger instances.
+func e13() {
+	t := benchkit.NewTable("E13 — engine planner decisions (decision table in DESIGN.md)",
+		"workload", "plan", "predicted log2 bound", "|Q|")
+	prow := func(name string, q *query.Q) {
+		out, st, err := core.ExecuteOptions(context.Background(), q,
+			&engine.Options{Workers: 1})
+		must(err)
+		t.Row(name, string(st.Plan.Algorithm), st.Plan.LogBound, out.Len())
+	}
+	prow("Fig.1 N=64 (simple-ish FDs)", paper.Fig1QuasiProduct(64))
+	prow("Fig.4 N=125 (SM beats chain)", mustQ(paper.Fig4Instance(125)))
+	prow("Fig.9 N=64 (no SM proof)", mustQ(paper.Fig9Instance(64)))
+	prow("degree triangle d=2", paper.DegreeTriangle(512, 2))
+	prow("triangle product m=16 (no FDs)", paper.TriangleProduct(16))
+	prow("triangle product m=2 (tiny)", paper.TriangleProduct(2))
+	fmt.Println(t)
+
+	t2 := benchkit.NewTable("E13b — parallel partitioned execution vs sequential",
+		"workload", "plan", "workers", "seq time", "par time", "speedup", "|Q| identical")
+	ctx := context.Background()
+	cmp := func(name string, q *query.Q) {
+		p, err := engine.Prepare(q)
+		must(err)
+		b, err := p.Bind(nil)
+		must(err)
+		var seqOut, parOut *rel.Relation
+		var stPar *engine.Stats
+		// Warm both paths so the timings measure execution — not LP solves,
+		// the one-time partition split, or cold per-part index caches.
+		_, _, err = b.Run(ctx, &engine.Options{Workers: 1})
+		must(err)
+		_, _, err = b.Run(ctx, &engine.Options{Workers: 4, MinParallelRows: 1})
+		must(err)
+		seqDur := benchkit.Time(func() {
+			o, _, err := b.Run(ctx, &engine.Options{Workers: 1})
+			must(err)
+			seqOut = o
+		})
+		// Explicit pool size: partitioned execution also cuts total work on
+		// superlinear algorithms, so it can win even on a single core.
+		parDur := benchkit.Time(func() {
+			o, st, err := b.Run(ctx, &engine.Options{Workers: 4, MinParallelRows: 1})
+			must(err)
+			parOut, stPar = o, st
+		})
+		same := seqOut.Len() == parOut.Len()
+		for i := 0; same && i < seqOut.Len(); i++ {
+			a, bb := seqOut.Row(i), parOut.Row(i)
+			for c := range a {
+				if a[c] != bb[c] {
+					same = false
+					break
+				}
+			}
+		}
+		t2.Row(name, string(stPar.Plan.Algorithm), stPar.Workers, seqDur, parDur,
+			float64(seqDur)/float64(parDur), same)
+	}
+	cmp("E1 skew N=1024 (chain)", paper.Fig1Skew(1024))
+	cmp("E3 triangle m=24 (generic)", paper.TriangleProduct(24))
+	cmp("E12 simple FDs k=5 N=512 (chain)", paper.SimpleFDChain(5, 512))
+	fmt.Println(t2)
+}
+
+func mustQ[T any](q *query.Q, _ T) *query.Q { return q }
 
 func must(err error) {
 	if err != nil {

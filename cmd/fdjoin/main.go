@@ -1,21 +1,24 @@
 // Command fdjoin analyzes and evaluates join queries with functional
 // dependencies from a simple text format (see internal/query.Parse for the
 // grammar), printing every bound of the paper and running any of its
-// algorithms.
+// algorithms through the prepared-query engine.
 //
 // Usage:
 //
 //	fdjoin analyze <file.fdq>
-//	fdjoin run [-alg auto|chain|sm|csma|generic|binary] <file.fdq>
+//	fdjoin run [-alg auto|chain|sm|csma|generic|binary] [-parallel N] <file.fdq>
 //	fdjoin demo                 # analyze the paper's running example
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/paper"
 	"repro/internal/query"
 )
@@ -34,17 +37,18 @@ func main() {
 	case "run":
 		fs := flag.NewFlagSet("run", flag.ExitOnError)
 		alg := fs.String("alg", "auto", "algorithm: auto|chain|sm|csma|generic|binary")
+		par := fs.Int("parallel", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() != 1 {
 			usage()
 		}
 		q := load(fs.Arg(0))
-		run(q, core.Algorithm(*alg))
+		run(q, core.Algorithm(*alg), *par)
 	case "demo":
 		q := paper.Fig1QuasiProduct(64)
 		fmt.Println("paper running example: Q :- R(x,y), S(y,z), T(z,u), xz→u, yu→x, N=64")
 		analyze(q)
-		run(q, core.AlgAuto)
+		run(q, core.AlgAuto, 0)
 	default:
 		usage()
 	}
@@ -82,12 +86,20 @@ func analyze(q *query.Q) {
 	fmt.Printf("good SM proof exists: %v\n", a.SMProofExists)
 }
 
-func run(q *query.Q, alg core.Algorithm) {
-	out, st, err := core.Execute(q, alg)
+func run(q *query.Q, alg core.Algorithm, workers int) {
+	out, st, err := core.ExecuteOptions(context.Background(), q,
+		&engine.Options{Algorithm: alg, Workers: workers})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("algorithm %s: |Q| = %d tuples in %v\n", st.Algorithm, out.Len(), st.Duration)
+	fmt.Printf("plan: %s (%s)\n", st.Plan.Algorithm, st.Plan.Reason)
+	if !math.IsNaN(st.Plan.LogBound) && !math.IsInf(st.Plan.LogBound, 1) {
+		fmt.Printf("predicted bound: 2^%.3f\n", st.Plan.LogBound)
+	}
+	if st.Workers > 1 {
+		fmt.Printf("executed on %d workers (partitioned on %s)\n", st.Workers, q.Names[st.PartitionVar])
+	}
+	fmt.Printf("|Q| = %d tuples in %v\n", out.Len(), st.Duration)
 	for i := 0; i < 10 && i < out.Len(); i++ {
 		fmt.Printf("  %v\n", out.Row(i))
 	}
@@ -97,7 +109,7 @@ func run(q *query.Q, alg core.Algorithm) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fdjoin analyze <file.fdq> | fdjoin run [-alg A] <file.fdq> | fdjoin demo")
+	fmt.Fprintln(os.Stderr, "usage: fdjoin analyze <file.fdq> | fdjoin run [-alg A] [-parallel N] <file.fdq> | fdjoin demo")
 	os.Exit(2)
 }
 

@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("|Q| = %d tuples in %v (algorithm %s)\n", out.Len(), st.Duration, st.Algorithm)
+	fmt.Printf("|Q| = %d tuples in %v (algorithm %s)\n", out.Len(), st.Duration, st.Plan.Algorithm)
 	for i := 0; i < 5 && i < out.Len(); i++ {
 		fmt.Printf("  %v\n", out.Row(i))
 	}

@@ -3,6 +3,10 @@
 // 0̂ = C_0 ≺ C_1 ≺ ... ≺ C_k = 1̂ of the FD lattice, computing intermediate
 // relations Q_i over the variables of C_i by per-tuple minimum-cost
 // conditional search, exactly as in the paper's proof of Theorem 5.7.
+//
+// Run and RunBest are safe to call concurrently on frozen inputs: all
+// working state is per-call, input relations are only read, and the chain
+// search memo lives in the query's mutex-guarded plan cache.
 package chainalg
 
 import (

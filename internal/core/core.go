@@ -8,21 +8,23 @@
 //	q := query.New("x", "y", "z") ... // define relations and FDs
 //	a := core.Analyze(q)              // bounds + lattice classification
 //	out, stats, err := core.Execute(q, core.AlgAuto)
+//
+// Execution is routed through internal/engine: AlgAuto runs the cost-based
+// planner, and large instances execute in parallel. Callers that re-run one
+// query shape on many instances (or need concurrency control) should use
+// engine.Prepare/Bind/Run directly.
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
-	"time"
 
 	"repro/internal/bounds"
-	"repro/internal/chainalg"
-	"repro/internal/csma"
+	"repro/internal/engine"
 	"repro/internal/lattice"
 	"repro/internal/query"
 	"repro/internal/rel"
 	"repro/internal/smalg"
-	"repro/internal/wcoj"
 )
 
 // Analysis aggregates every bound (in log2) and lattice property.
@@ -86,62 +88,47 @@ func Analyze(q *query.Q) *Analysis {
 		a.LogChain = math.Inf(1)
 	}
 
-	hco, _ := bounds.CoatomicHypergraph(q)
-	if !hco.HasIsolatedVertex() {
-		a.SMProofExists = smalg.FindProofAny(llp, q.LogSizes(), hco.CoverPolytope().Vertices()) != nil
-	} else {
-		a.SMProofExists = smalg.FindProof(llp) != nil
-	}
+	a.SMProofExists = smalg.FindProofAuto(q, llp) != nil
 	return a
 }
 
-// Algorithm selects an execution strategy.
-type Algorithm string
+// Algorithm selects an execution strategy (aliased from the engine, which
+// owns the execution layer).
+type Algorithm = engine.Algorithm
 
 // Available algorithms.
 const (
-	AlgAuto        Algorithm = "auto"    // SMA if a good proof exists, else CSMA
-	AlgChain       Algorithm = "chain"   // Chain Algorithm (Alg. 1)
-	AlgSM          Algorithm = "sm"      // Sub-Modularity Algorithm (Alg. 2)
-	AlgCSMA        Algorithm = "csma"    // Conditional SM Algorithm (Sec. 5.3)
-	AlgGenericJoin Algorithm = "generic" // FD-blind worst-case-optimal join
-	AlgBinary      Algorithm = "binary"  // traditional binary-join plan
+	AlgAuto        = engine.AlgAuto        // cost-based planner decides
+	AlgChain       = engine.AlgChain       // Chain Algorithm (Alg. 1)
+	AlgSM          = engine.AlgSM          // Sub-Modularity Algorithm (Alg. 2)
+	AlgCSMA        = engine.AlgCSMA        // Conditional SM Algorithm (Sec. 5.3)
+	AlgGenericJoin = engine.AlgGenericJoin // FD-blind worst-case-optimal join
+	AlgBinary      = engine.AlgBinary      // traditional binary-join plan
 )
 
-// ExecStats reports timing and output size.
-type ExecStats struct {
-	Algorithm Algorithm
-	Duration  time.Duration
-	OutSize   int
-}
+// ExecStats reports the engine's execution statistics: the chosen plan with
+// its predicted bound and rationale, the degree of parallelism, timing, and
+// output size (engine.Stats re-exported under the façade's historical name).
+type ExecStats = engine.Stats
 
 // Execute runs the query with the chosen algorithm and returns the result
-// over all query variables.
+// over all query variables. AlgAuto consults the cost-based planner; large
+// instances execute in parallel on every CPU. It is a thin wrapper over
+// engine.Prepare(q).Bind(nil).Run(ctx) for one-shot callers.
 func Execute(q *query.Q, alg Algorithm) (*rel.Relation, *ExecStats, error) {
-	start := time.Now()
-	var out *rel.Relation
-	var err error
-	switch alg {
-	case AlgChain:
-		out, _, err = chainalg.RunBest(q)
-	case AlgSM:
-		out, _, err = smalg.RunAuto(q)
-	case AlgCSMA:
-		out, _, err = csma.Run(q, nil)
-	case AlgGenericJoin:
-		out, _, err = wcoj.GenericJoin(q, wcoj.DefaultOrder(q))
-	case AlgBinary:
-		out, _, err = wcoj.BinaryPlan(q, nil)
-	case AlgAuto:
-		out, _, err = smalg.RunAuto(q)
-		if err != nil {
-			out, _, err = csma.Run(q, nil)
-		}
-	default:
-		return nil, nil, fmt.Errorf("core: unknown algorithm %q", alg)
-	}
+	return ExecuteOptions(context.Background(), q, &engine.Options{Algorithm: alg})
+}
+
+// ExecuteOptions is Execute with full engine control (workers, thresholds,
+// cancellation).
+func ExecuteOptions(ctx context.Context, q *query.Q, opts *engine.Options) (*rel.Relation, *ExecStats, error) {
+	p, err := engine.Prepare(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, &ExecStats{Algorithm: alg, Duration: time.Since(start), OutSize: out.Len()}, nil
+	b, err := p.Bind(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.Run(ctx, opts)
 }

@@ -21,6 +21,10 @@
 //
 // The union of the T(1̂) tables across branches, semi-join reduced against
 // every input and FD-filtered, is exactly Q^D.
+//
+// Run is safe to call concurrently on frozen inputs: all working state
+// (plan, branch states, result accumulator) is per-call, and input
+// relations are only read.
 package csma
 
 import (

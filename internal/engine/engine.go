@@ -1,0 +1,215 @@
+// Package engine is the execution layer of the library: it separates a
+// query's *shape* (variables, FDs, degree bounds, the FD lattice, and every
+// planning artifact derived from them) from its *instance binding* (the
+// relations and their sizes), so a shape is analyzed once and executed many
+// times, concurrently, on different instances:
+//
+//	p, _ := engine.Prepare(q)           // shape analysis, done once
+//	b, _ := p.Bind(rels)                // bind an instance (nil = q's own)
+//	out, stats, _ := b.Run(ctx, nil)    // plan + execute (parallel if large)
+//
+// Run is safe to call from many goroutines on the same or different Bound
+// values: the lattice, the plan cache, and the relations' index caches are
+// all mutex-guarded, and each execution keeps its own working state.
+//
+// The planner (see planner.go) replaces the old try-SMA-then-CSMA "auto"
+// mode with a cost-based choice over the paper's bounds, and large
+// instances are executed in parallel by hash-partitioning one variable's
+// domain across a worker pool (see parallel.go).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chainalg"
+	"repro/internal/csma"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/smalg"
+	"repro/internal/wcoj"
+)
+
+// Algorithm selects an execution strategy.
+type Algorithm string
+
+// Available algorithms.
+const (
+	AlgAuto        Algorithm = "auto"    // planner picks from the bound analysis
+	AlgChain       Algorithm = "chain"   // Chain Algorithm (Alg. 1)
+	AlgSM          Algorithm = "sm"      // Sub-Modularity Algorithm (Alg. 2)
+	AlgCSMA        Algorithm = "csma"    // Conditional SM Algorithm (Sec. 5.3)
+	AlgGenericJoin Algorithm = "generic" // FD-blind worst-case-optimal join
+	AlgBinary      Algorithm = "binary"  // traditional binary-join plan
+)
+
+// Options tunes one Run. The zero value (or nil) means: let the planner
+// choose the algorithm, use one worker per CPU when the instance is large
+// enough, and fall back to sequential execution below MinParallelRows.
+type Options struct {
+	Algorithm       Algorithm // "" or AlgAuto: cost-based planner decides
+	Workers         int       // ≤0: GOMAXPROCS; 1 forces sequential
+	MinParallelRows int       // ≤0: default 2048 total input rows
+}
+
+// Stats reports what one Run did: the plan (chosen algorithm, predicted
+// log2 bound, and the planner's reasoning), the degree of parallelism, and
+// the outcome.
+type Stats struct {
+	Plan         Plan
+	Workers      int // goroutines that executed partitions (1 = sequential)
+	PartitionVar int // variable whose domain was partitioned; -1 sequential
+	Duration     time.Duration
+	OutSize      int
+}
+
+// Prepared is an analyzed query shape. It wraps the query whose lattice has
+// been forced and whose plan cache will accumulate artifacts shared by
+// every instance bound from it.
+type Prepared struct {
+	q *query.Q
+}
+
+// Prepare analyzes the query shape: it checks that every variable is
+// computable, forces the FD lattice build (so concurrent executions share
+// one immutable lattice), and returns a handle that instances are bound
+// from. The relations attached to q become the default binding.
+func Prepare(q *query.Q) (*Prepared, error) {
+	if err := q.CheckComputable(); err != nil {
+		return nil, err
+	}
+	q.Lattice()
+	return &Prepared{q: q}, nil
+}
+
+// Query returns the underlying query shape (with its default binding).
+func (p *Prepared) Query() *query.Q { return p.q }
+
+// Bound is a prepared shape bound to one database instance, ready to Run.
+// A Bound is immutable apart from its internal caches; Run may be called
+// concurrently.
+type Bound struct {
+	prep *Prepared
+	q    *query.Q
+
+	mu       sync.Mutex // guards the single-entry partition memo
+	partsKey partKey
+	parts    [][]*rel.Relation
+}
+
+// Bind attaches an instance to the shape: rels must match the shape's
+// relations positionally (same variable sets). Passing nil binds the
+// relations the shape was prepared with. The returned Bound shares the
+// shape's lattice and plan cache, so planning artifacts computed for one
+// instance benefit all others.
+//
+// Bind checks schemas only — it does NOT re-check that the instance
+// satisfies the declared guarded FDs and degree bounds (the executors
+// assume they hold). For untrusted data, call Query().Validate() on the
+// returned Bound before Run.
+func (p *Prepared) Bind(rels []*rel.Relation) (*Bound, error) {
+	if rels == nil {
+		return &Bound{prep: p, q: p.q}, nil
+	}
+	if len(rels) != len(p.q.Rels) {
+		return nil, fmt.Errorf("engine: bind got %d relations, shape has %d", len(rels), len(p.q.Rels))
+	}
+	for j, r := range rels {
+		if r.VarSet() != p.q.Rels[j].VarSet() {
+			return nil, fmt.Errorf("engine: relation %d (%s) binds variables %v, shape wants %v",
+				j, r.Name, r.VarSet().Format(p.q.Names), p.q.Rels[j].VarSet().Format(p.q.Names))
+		}
+	}
+	return &Bound{prep: p, q: p.q.WithFreshRels(rels)}, nil
+}
+
+// Query returns the bound query instance.
+func (b *Bound) Query() *query.Q { return b.q }
+
+func (o *Options) withDefaults() Options {
+	out := Options{Algorithm: AlgAuto, Workers: 0, MinParallelRows: 2048}
+	if o != nil {
+		if o.Algorithm != "" {
+			out.Algorithm = o.Algorithm
+		}
+		out.Workers = o.Workers
+		if o.MinParallelRows > 0 {
+			out.MinParallelRows = o.MinParallelRows
+		}
+	}
+	return out
+}
+
+// Run plans and executes the bound instance. With opts nil (or Algorithm
+// AlgAuto) the cost-based planner chooses the algorithm; large instances
+// are hash-partitioned across a worker pool and the per-partition outputs
+// merged (identical to the sequential result). ctx cancellation is observed
+// at partition boundaries.
+func (b *Bound) Run(ctx context.Context, opts *Options) (*rel.Relation, *Stats, error) {
+	o := opts.withDefaults()
+	start := time.Now()
+	plan, err := b.plan(o.Algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{Plan: *plan, Workers: 1, PartitionVar: -1}
+
+	workers := o.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if plan.explicit && plan.Algorithm == AlgSM {
+		// An SM proof is tight for specific instance sizes; partitions would
+		// have to re-search proofs at their own sizes and could fail where
+		// the full instance succeeds (or vice versa), making an explicit
+		// AlgSM request machine-dependent. Honor it sequentially; the
+		// planner-chosen parallel SM path keeps its per-part fallbacks.
+		workers = 1
+	}
+	var out *rel.Relation
+	if workers > 1 && b.q.TotalSize() >= o.MinParallelRows {
+		out, err = b.runParallel(ctx, plan, workers, st)
+	} else {
+		if err = ctx.Err(); err == nil {
+			out, err = runOne(b.q, plan)
+		}
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(start)
+	st.OutSize = out.Len()
+	return out, st, nil
+}
+
+// runOne executes the planned algorithm sequentially on q, reusing the
+// planner's artifacts (chosen chain, LLP solution, SM proof) when present.
+func runOne(q *query.Q, plan *Plan) (*rel.Relation, error) {
+	var out *rel.Relation
+	var err error
+	switch plan.Algorithm {
+	case AlgChain:
+		if plan.Chain != nil {
+			out, _, err = chainalg.Run(q, plan.Chain)
+		} else {
+			out, _, err = chainalg.RunBest(q)
+		}
+	case AlgSM:
+		if plan.llp != nil && plan.proof != nil {
+			out, _, err = smalg.Run(q, plan.llp, plan.proof)
+		} else {
+			out, _, err = smalg.RunAuto(q)
+		}
+	case AlgCSMA:
+		out, _, err = csma.Run(q, nil)
+	case AlgGenericJoin:
+		out, _, err = wcoj.GenericJoin(q, wcoj.DefaultOrder(q))
+	case AlgBinary:
+		out, _, err = wcoj.BinaryPlan(q, nil)
+	default:
+		return nil, fmt.Errorf("engine: unknown algorithm %q", plan.Algorithm)
+	}
+	return out, err
+}

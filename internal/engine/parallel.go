@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/chainalg"
+	"repro/internal/csma"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/smalg"
+	"repro/internal/wcoj"
+)
+
+// defaultWorkers is the pool size when Options.Workers ≤ 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// runParallel executes the plan by hash-partitioning one variable's domain
+// into `workers` parts, running the planned algorithm on each part with its
+// own working state, and merging the outputs.
+//
+// Soundness: every relation containing the partition variable v is filtered
+// to the rows whose v-value hashes into the part; relations without v are
+// shared read-only. Each output tuple binds exactly one v-value, so it is
+// produced in exactly one part (outputs are disjoint and their union is the
+// sequential output). FD guards containing v stay consistent: a guard
+// lookup that fails in a part can only fail for tuples that also fail the
+// guard's own membership constraint in that part, which no output tuple of
+// the part does. The merged result is SortDedup'd, so it is byte-identical
+// to the sequential result.
+func (b *Bound) runParallel(ctx context.Context, plan *Plan, workers int, st *Stats) (*rel.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err // don't pay the partition split for a dead context
+	}
+	v := choosePartitionVar(b.q, plan)
+	if v < 0 {
+		st.Workers = 1
+		return runOne(b.q, plan)
+	}
+	parts := b.partitions(v, workers)
+	st.Workers = workers
+	st.PartitionVar = v
+
+	outs := make([]*rel.Relation, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[p] = err
+				return
+			}
+			qp := b.q.WithFreshRels(parts[p])
+			outs[p], errs[p] = runPartition(qp, plan)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Every executor returns its output sorted and deduplicated over the
+	// ascending variable order, and the parts are pairwise disjoint, so a
+	// k-way merge reproduces the sequential output byte-for-byte without
+	// re-sorting it.
+	return rel.MergeSorted("Q", outs), nil
+}
+
+// runPartition executes the planned algorithm on one partition instance.
+// Planner-chosen plans degrade gracefully when their full-instance
+// artifacts don't fit the partition's sizes: the chain stays good (goodness
+// is instance-independent), but an SM proof is re-searched per partition
+// and executions that fail fall back to CSMA and finally Generic-Join,
+// which are always applicable. Explicitly requested algorithms never
+// substitute — a partition failure propagates, matching the sequential
+// path's error behaviour.
+func runPartition(qp *query.Q, plan *Plan) (*rel.Relation, error) {
+	var ferr error
+	switch plan.Algorithm {
+	case AlgChain:
+		if plan.Chain != nil {
+			var out *rel.Relation
+			out, _, ferr = chainalg.Run(qp, plan.Chain)
+			if ferr == nil {
+				return out, nil
+			}
+		} else {
+			// Explicit chain request with no planner-supplied chain: each
+			// part searches its own best good chain.
+			out, _, err := chainalg.RunBest(qp)
+			return out, err
+		}
+	case AlgSM:
+		// Only planner-chosen SM plans reach a partition (Run forces
+		// explicit AlgSM sequential): the full-instance proof is tight for
+		// the full-instance LLP, so the partition re-plans at its own sizes
+		// and may fall back below.
+		var out *rel.Relation
+		out, _, ferr = smalg.RunAuto(qp)
+		if ferr == nil {
+			return out, nil
+		}
+	case AlgGenericJoin:
+		out, _, err := wcoj.GenericJoin(qp, wcoj.DefaultOrder(qp))
+		return out, err
+	case AlgBinary:
+		out, _, err := wcoj.BinaryPlan(qp, nil)
+		return out, err
+	}
+	// AlgCSMA, plus the fallback chain for planner-chosen chain/SM plans
+	// that failed at this partition's sizes.
+	out, _, err := csma.Run(qp, nil)
+	if err == nil || plan.explicit {
+		return out, err
+	}
+	out, _, err = wcoj.GenericJoin(qp, wcoj.DefaultOrder(qp))
+	return out, err
+}
+
+// choosePartitionVar picks the variable whose domain is split across the
+// pool: the first variable of the chain's first step when the plan climbs a
+// chain (that step's candidate enumeration is the hot loop), otherwise the
+// covered variable appearing in the most relations (maximizing how much of
+// the instance the filter shrinks). Returns -1 when nothing is partitionable.
+func choosePartitionVar(q *query.Q, plan *Plan) int {
+	covered := q.CoveredVars()
+	if plan.Algorithm == AlgChain && len(plan.Chain) > 1 {
+		l := q.Lattice()
+		for _, v := range l.Elems[plan.Chain[1]].Members() {
+			if covered.Contains(v) {
+				return v
+			}
+		}
+	}
+	bestV, bestCount := -1, 0
+	for _, v := range covered.Members() {
+		count := 0
+		for _, r := range q.Rels {
+			if r.Col(v) >= 0 {
+				count++
+			}
+		}
+		if count > bestCount {
+			bestV, bestCount = v, count
+		}
+	}
+	return bestV
+}
+
+// partKey identifies a memoized partitioning of the bound instance.
+type partKey struct{ v, nparts int }
+
+// partitions returns (building and caching on first use) the instance
+// hash-partitioned on variable v into nparts parts. Caching on the Bound —
+// whose instance is immutable — lets repeated parallel Runs skip the split
+// and reuse the per-part relations' warm index caches, mirroring what
+// sequential Runs get from the original relations. The memo holds a single
+// entry (the last configuration), so memory stays bounded at one extra
+// instance copy however callers vary Workers across Runs.
+func (b *Bound) partitions(v, nparts int) [][]*rel.Relation {
+	key := partKey{v, nparts}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.parts != nil && b.partsKey == key {
+		return b.parts
+	}
+	p := partitionRels(b.q, v, nparts)
+	b.partsKey, b.parts = key, p
+	return p
+}
+
+// partitionRels builds, in one pass per relation, nparts filtered instances:
+// part p of a relation containing v holds the rows whose v-value hashes to
+// p; relations without v are shared (read-only) by every part.
+func partitionRels(q *query.Q, v, nparts int) [][]*rel.Relation {
+	parts := make([][]*rel.Relation, nparts)
+	for p := range parts {
+		parts[p] = make([]*rel.Relation, len(q.Rels))
+	}
+	for j, r := range q.Rels {
+		c := r.Col(v)
+		if c < 0 {
+			for p := range parts {
+				parts[p][j] = r
+			}
+			continue
+		}
+		split := make([]*rel.Relation, nparts)
+		for p := range split {
+			split[p] = rel.New(r.Name, r.Attrs...)
+		}
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			split[partOf(row[c], nparts)].AddTuple(row)
+		}
+		for p := range parts {
+			parts[p][j] = split[p]
+		}
+	}
+	return parts
+}
+
+// partOf maps a value to a partition by avalanche-mixing it, so consecutive
+// dictionary codes (the common encoding) spread evenly across the pool.
+func partOf(v rel.Value, nparts int) int {
+	h := uint64(v)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(nparts))
+}

@@ -2,6 +2,10 @@
 // tuple or relation over attributes X to the closure X⁺ by repeatedly
 // applying functional dependencies — joining with the guard projection for
 // guarded FDs, and evaluating the UDF for unguarded ones.
+//
+// An Expander carries reusable buffers and is therefore NOT safe for
+// concurrent use; build one per goroutine (every executor builds its own
+// per call, so concurrent executions never share one).
 package expand
 
 import (

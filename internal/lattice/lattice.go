@@ -10,6 +10,7 @@ package lattice
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/varset"
 )
@@ -29,7 +30,9 @@ type Lattice struct {
 	meet, join  [][]int
 	upperCovers [][]int
 	lowerCovers [][]int
-	mobius      [][]int64
+
+	mobiusOnce sync.Once // builds the lazy Möbius memo exactly once
+	mobius     [][]int64 // immutable after the build; read lock-free
 }
 
 // New builds the lattice of closed sets of the given closure operator over
@@ -247,32 +250,37 @@ func (l *Lattice) MeetIrreducibles() []int {
 }
 
 // Mobius returns µ(i, j) for i ≤ j (0 when i ≰ j), computing the table on
-// first use: µ(X,X) = 1 and µ(X,Y) = −Σ_{X≤Z<Y} µ(X,Z).
+// first use: µ(X,X) = 1 and µ(X,Y) = −Σ_{X≤Z<Y} µ(X,Z). Safe for
+// concurrent use; the sync.Once build keeps the per-lookup path lock-free
+// (callers like bounds.CMI probe the table in O(n²) loops).
 func (l *Lattice) Mobius(i, j int) int64 {
-	if l.mobius == nil {
-		n := len(l.Elems)
-		l.mobius = make([][]int64, n)
-		for a := range l.mobius {
-			l.mobius[a] = make([]int64, n)
-		}
-		for a := 0; a < n; a++ {
-			l.mobius[a][a] = 1
-			// Process targets in element order (a sorted linear extension).
-			for b := a + 1; b < n; b++ {
-				if !l.leq[a][b] {
-					continue
-				}
-				var sum int64
-				for z := a; z < b; z++ {
-					if l.leq[a][z] && l.leq[z][b] && z != b {
-						sum += l.mobius[a][z]
-					}
-				}
-				l.mobius[a][b] = -sum
+	l.mobiusOnce.Do(l.buildMobius)
+	return l.mobius[i][j]
+}
+
+func (l *Lattice) buildMobius() {
+	n := len(l.Elems)
+	mob := make([][]int64, n)
+	for a := range mob {
+		mob[a] = make([]int64, n)
+	}
+	for a := 0; a < n; a++ {
+		mob[a][a] = 1
+		// Process targets in element order (a sorted linear extension).
+		for b := a + 1; b < n; b++ {
+			if !l.leq[a][b] {
+				continue
 			}
+			var sum int64
+			for z := a; z < b; z++ {
+				if l.leq[a][z] && l.leq[z][b] && z != b {
+					sum += mob[a][z]
+				}
+			}
+			mob[a][b] = -sum
 		}
 	}
-	return l.mobius[i][j]
+	l.mobius = mob
 }
 
 // IsDistributive reports whether the lattice is distributive:

@@ -177,7 +177,7 @@ func parseFD(q *Q, s string) error {
 		fns = nil
 	}
 	q.FDs.Add(from, to, guard, fns)
-	q.lat = nil
+	q.invalidate()
 	return nil
 }
 

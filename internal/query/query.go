@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"sync"
 
 	"repro/internal/fd"
 	"repro/internal/lattice"
@@ -33,13 +34,33 @@ type Q struct {
 	Rels         []*rel.Relation
 	DegreeBounds []DegreeBound
 
+	state *qstate
+}
+
+// qstate boxes the lazily built lattice and the plan cache behind one
+// mutex. It is held by pointer so shallow copies of Q (WithFreshRels) share
+// a single guarded instance: concurrent executions of the same query shape
+// on different instances are race-free, and planning artifacts computed for
+// one instance are visible to the others (cache keys fold in whatever the
+// artifact depends on, e.g. relation sizes).
+type qstate struct {
+	mu    sync.Mutex
 	lat   *lattice.Lattice
 	plans map[string]any
 }
 
 // New creates a query over the given variable names with an empty FD set.
 func New(names ...string) *Q {
-	return &Q{Names: names, K: len(names), FDs: fd.NewSet(len(names))}
+	return &Q{Names: names, K: len(names), FDs: fd.NewSet(len(names)), state: &qstate{}}
+}
+
+// st returns the shared state, allocating it for hand-built Q values. The
+// fallback is not synchronized: construct queries on one goroutine.
+func (q *Q) st() *qstate {
+	if q.state == nil {
+		q.state = &qstate{}
+	}
+	return q.state
 }
 
 // AddRel registers an input relation and returns its index.
@@ -49,26 +70,51 @@ func (q *Q) AddRel(r *rel.Relation) int {
 		panic(fmt.Sprintf("query: relation %s mentions unknown variables", r.Name))
 	}
 	q.Rels = append(q.Rels, r)
-	q.lat = nil
-	q.plans = nil
+	q.invalidate()
 	return len(q.Rels) - 1
+}
+
+// invalidate drops the cached lattice and plan artifacts. Called whenever
+// the query shape changes (relations or FDs added).
+func (q *Q) invalidate() {
+	s := q.st()
+	s.mu.Lock()
+	s.lat = nil
+	s.plans = nil
+	s.mu.Unlock()
 }
 
 // PlanCache returns the memoized planning artifact stored under key.
 // The cache is cleared when a relation is added; callers whose artifacts
 // depend on instance sizes must fold those sizes into the key (see
-// bounds.BestChainBound).
+// bounds.BestChainBound). Safe for concurrent use.
 func (q *Q) PlanCache(key string) (any, bool) {
-	v, ok := q.plans[key]
+	s := q.st()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.plans[key]
 	return v, ok
 }
 
-// SetPlanCache memoizes a planning artifact under key.
+// planCacheMax bounds the plan cache: keys fold in instance sizes, so a
+// long-lived shape serving many differently-sized instances would otherwise
+// accumulate entries forever. On overflow the cache resets — entries are
+// pure memoizations and rebuild on demand.
+const planCacheMax = 256
+
+// SetPlanCache memoizes a planning artifact under key. Safe for concurrent
+// use.
 func (q *Q) SetPlanCache(key string, v any) {
-	if q.plans == nil {
-		q.plans = make(map[string]any, 2)
+	s := q.st()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.plans) >= planCacheMax {
+		s.plans = nil
 	}
-	q.plans[key] = v
+	if s.plans == nil {
+		s.plans = make(map[string]any, 2)
+	}
+	s.plans[key] = v
 }
 
 // AddDegreeBound registers a degree-bound constraint.
@@ -77,6 +123,7 @@ func (q *Q) AddDegreeBound(x, y varset.Set, maxDegree, guard int) {
 		panic("query: degree bound needs X ⊂ Y")
 	}
 	q.DegreeBounds = append(q.DegreeBounds, DegreeBound{X: x, Y: y, MaxDegree: maxDegree, Guard: guard})
+	q.invalidate()
 }
 
 // Var returns the variable index of a name, or -1.
@@ -106,12 +153,15 @@ func (q *Q) Vars(names ...string) varset.Set {
 func (q *Q) AllVars() varset.Set { return varset.Universe(q.K) }
 
 // Lattice returns (building and caching on first use) the lattice of closed
-// sets of the query's FDs.
+// sets of the query's FDs. Safe for concurrent use.
 func (q *Q) Lattice() *lattice.Lattice {
-	if q.lat == nil {
-		q.lat = lattice.New(q.K, q.FDs.Closure)
+	s := q.st()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lat == nil {
+		s.lat = lattice.New(q.K, q.FDs.Closure)
 	}
-	return q.lat
+	return s.lat
 }
 
 // InputElems returns the lattice indices of the closures of the inputs'
@@ -167,16 +217,26 @@ func (q *Q) CoveredVars() varset.Set {
 	return s
 }
 
+// CheckComputable verifies that every variable is covered by an input
+// relation or derivable from covered variables by FD expansion — the
+// shape-level half of Validate, cheap enough to run per Prepare.
+func (q *Q) CheckComputable() error {
+	cov := q.CoveredVars()
+	if q.FDs.Closure(cov) != q.AllVars() {
+		return fmt.Errorf("query: variables %v are neither covered nor derivable",
+			q.AllVars().Diff(q.FDs.Closure(cov)).Format(q.Names))
+	}
+	return nil
+}
+
 // Validate checks structural well-formedness: every variable is covered by
 // an input or derivable by expansion from covered variables, guarded FDs
 // point at relations that contain their variables and whose instances
 // satisfy them, and unguarded FDs that could be needed for expansion carry
 // UDFs.
 func (q *Q) Validate() error {
-	cov := q.CoveredVars()
-	if q.FDs.Closure(cov) != q.AllVars() {
-		return fmt.Errorf("query: variables %v are neither covered nor derivable",
-			q.AllVars().Diff(q.FDs.Closure(cov)).Format(q.Names))
+	if err := q.CheckComputable(); err != nil {
+		return err
 	}
 	for _, f := range q.FDs.FDs {
 		if !f.Guarded() {
@@ -201,58 +261,56 @@ func (q *Q) Validate() error {
 		if !g.VarSet().ContainsAll(d.Y) {
 			return fmt.Errorf("query: degree bound Y ⊄ guard %s", g.Name)
 		}
-		ix := g.IndexOn(d.X.Members()...)
 		proj := g.Project(d.Y)
 		pix := proj.IndexOn(d.X.Members()...)
 		if got := pix.MaxDegree(d.X.Len()); got > d.MaxDegree {
 			return fmt.Errorf("query: degree bound %d violated by %s (max degree %d)", d.MaxDegree, g.Name, got)
 		}
-		_ = ix
 	}
 	return nil
 }
 
+// checkFDHolds verifies From→To on the guard's instance by scanning an
+// index sorted with (From, To) as the leading priority: within a From-run
+// the To block must be constant, so adjacent rows suffice and the check
+// allocates nothing beyond the (cached) index itself.
 func checkFDHolds(g *rel.Relation, f fd.FD) error {
-	fromCols := cols(g, f.From)
-	toCols := cols(g, f.To)
-	seen := map[string]string{}
-	for _, t := range g.Rows() {
-		k := keyOf(t, fromCols)
-		v := keyOf(t, toCols)
-		if prev, ok := seen[k]; ok && prev != v {
-			return fmt.Errorf("query: relation %s violates FD %v->%v", g.Name, f.From, f.To)
+	to := f.To.Diff(f.From) // overlapping variables are trivially determined
+	nf, nt := f.From.Len(), to.Len()
+	prio := append(f.From.Members(), to.Members()...)
+	ix := g.IndexOn(prio...)
+	for i := 1; i < ix.Len(); i++ {
+		prev, cur := ix.Row(i-1), ix.Row(i)
+		sameFrom := true
+		for c := 0; c < nf; c++ {
+			if prev[c] != cur[c] {
+				sameFrom = false
+				break
+			}
 		}
-		seen[k] = v
+		if !sameFrom {
+			continue
+		}
+		for c := nf; c < nf+nt; c++ {
+			if prev[c] != cur[c] {
+				return fmt.Errorf("query: relation %s violates FD %v->%v", g.Name, f.From, f.To)
+			}
+		}
 	}
 	return nil
-}
-
-func cols(g *rel.Relation, vars varset.Set) []int {
-	var out []int
-	for _, v := range vars.Members() {
-		out = append(out, g.Col(v))
-	}
-	return out
-}
-
-func keyOf(t rel.Tuple, cs []int) string {
-	b := make([]byte, 0, len(cs)*8)
-	for _, c := range cs {
-		v := uint64(t[c])
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
-			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
-	}
-	return string(b)
 }
 
 // WithFreshRels returns a shallow copy of q with the given relations
 // substituted (same schema positions); used to re-run a query shape on a
-// different instance.
+// different instance. The copy shares q's lattice and plan cache (both are
+// mutex-guarded), so preparing a shape once amortizes planning across
+// instances.
 func (q *Q) WithFreshRels(rels []*rel.Relation) *Q {
 	if len(rels) != len(q.Rels) {
 		panic("query: relation count mismatch")
 	}
 	c := *q
+	c.state = q.st()
 	c.Rels = rels
 	return &c
 }

@@ -45,7 +45,7 @@ func TestLatticeCaching(t *testing.T) {
 		t.Fatal("lattice should be cached")
 	}
 	q.AddRel(rel.New("S", 0)) // invalidates cache
-	if l1 == q.Lattice() && q.lat == l1 {
+	if q.state.lat != nil {
 		t.Fatal("cache should be invalidated by AddRel")
 	}
 }
@@ -58,7 +58,7 @@ func TestValidateCoverage(t *testing.T) {
 	}
 	// With an FD x→y it becomes derivable.
 	q.FDs.AddUDF(varset.Of(0), 1, func(a []int64) int64 { return a[0] })
-	q.lat = nil
+	q.invalidate()
 	if err := q.Validate(); err != nil {
 		t.Fatalf("derivable variable should validate: %v", err)
 	}

@@ -32,7 +32,9 @@ type Index struct {
 // Indexes are cached on the relation keyed by the resolved priority
 // signature; any mutation of the relation (Add, AddTuple, SortDedup)
 // invalidates the cache. Cached indexes already handed out stay valid as
-// snapshots of the relation at build time.
+// snapshots of the relation at build time. The cache is mutex-guarded, so
+// concurrent IndexOn calls on a frozen relation are safe (a build holds the
+// lock: racing callers wait and receive the cached index).
 func (r *Relation) IndexOn(keyVars ...int) *Index {
 	used := 0
 	var cols []int
@@ -54,6 +56,8 @@ func (r *Relation) IndexOn(keyVars ...int) *Index {
 		}
 	}
 	sig := indexSig(attrs, nkey)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if ix, ok := r.cache[sig]; ok {
 		return ix
 	}

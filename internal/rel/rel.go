@@ -14,13 +14,17 @@
 // materializing string keys per probe. See DESIGN.md for the full layout,
 // the hash-key scheme, and the index cache invalidation rule.
 //
-// Relations and indexes are not safe for concurrent mutation; build and
-// share them read-only across goroutines if needed.
+// Relations and indexes are not safe for concurrent mutation, but a fully
+// built relation may be shared read-only across goroutines: the index cache
+// behind IndexOn is mutex-guarded, so concurrent probes and index builds on
+// a frozen relation are race-free. Mutators (Add, AddTuple, SortDedup)
+// still require exclusive ownership.
 package rel
 
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"repro/internal/varset"
 )
@@ -39,6 +43,8 @@ type Relation struct {
 
 	data  []Value // flat row storage, stride = len(Attrs)
 	n     int     // row count (tracked separately to support arity 0)
+
+	mu    sync.Mutex // guards cache; mutators bypass it (exclusive owner)
 	cache map[string]*Index
 }
 
@@ -87,6 +93,56 @@ func (r *Relation) AddTuple(t Tuple) {
 	r.cache = nil
 	r.data = append(r.data, t...)
 	r.n++
+}
+
+// MergeSorted merges already-sorted relations over identical attribute
+// orders into one sorted, deduplicated relation: a k-way merge costing
+// O(total · k) comparisons instead of a fresh O(total · log total) sort.
+// Each source must be sorted and duplicate-free (as produced by SortDedup);
+// duplicates *across* sources are dropped. This is the merge path for
+// partitioned execution, whose per-partition outputs are sorted and
+// pairwise disjoint.
+func MergeSorted(name string, srcs []*Relation) *Relation {
+	if len(srcs) == 0 {
+		panic("rel: MergeSorted needs at least one source")
+	}
+	out := New(name, srcs[0].Attrs...)
+	k := len(out.Attrs)
+	total := 0
+	for _, s := range srcs {
+		if !slices.Equal(s.Attrs, srcs[0].Attrs) {
+			panic(fmt.Sprintf("rel: MergeSorted schema mismatch %v vs %v", s.Attrs, srcs[0].Attrs))
+		}
+		total += s.n
+	}
+	if k == 0 {
+		if total > 0 {
+			out.n = 1 // all zero-arity rows are equal
+		}
+		return out
+	}
+	out.data = make([]Value, 0, total*k)
+	pos := make([]int, len(srcs))
+	for {
+		best := -1
+		for s, sr := range srcs {
+			if pos[s] == sr.n {
+				continue
+			}
+			if best < 0 || cmpRowsAt2(sr.data, srcs[best].data, pos[s]*k, pos[best]*k, k) < 0 {
+				best = s
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		base := pos[best] * k
+		if out.n == 0 || cmpRowsAt2(out.data, srcs[best].data, len(out.data)-k, base, k) != 0 {
+			out.data = append(out.data, srcs[best].data[base:base+k]...)
+			out.n++
+		}
+		pos[best]++
+	}
 }
 
 // appendRowOf copies row i of src onto the end of r. Internal fast path for

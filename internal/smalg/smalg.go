@@ -1,3 +1,7 @@
+// Package smalg implements the Sub-Modularity Algorithm (Algorithm 2,
+// Sec. 5.2) and the good-proof search it needs. Run and RunAuto are safe to
+// call concurrently on frozen inputs (working state is per-call; input
+// relations are only read).
 package smalg
 
 import (
@@ -117,17 +121,26 @@ func Run(q *query.Q, llp *bounds.LLPResult, proof *Proof) (*rel.Relation, *Stats
 	return filtered, st, nil
 }
 
-// RunAuto solves the LLP, searches for a good proof, and executes SMA.
-// It fails when no good SM proof exists (e.g. Fig. 9 / Example 5.31), in
-// which case CSMA is the right tool.
-func RunAuto(q *query.Q) (*rel.Relation, *Stats, error) {
-	llp := bounds.LLP(q)
+// FindProofAuto searches for a good SM proof for the given optimal LLP
+// solution: the solver's own dual weights first, then — when the co-atomic
+// hypergraph has no isolated vertex — every dual-optimal vertex of its
+// cover polytope. This is the proof-search pipeline shared by RunAuto,
+// core.Analyze, and the engine planner.
+func FindProofAuto(q *query.Q, llp *bounds.LLPResult) *Proof {
 	h, _ := bounds.CoatomicHypergraph(q)
 	var candidates [][]*big.Rat
 	if !h.HasIsolatedVertex() {
 		candidates = h.CoverPolytope().Vertices()
 	}
-	proof := FindProofAny(llp, q.LogSizes(), candidates)
+	return FindProofAny(llp, q.LogSizes(), candidates)
+}
+
+// RunAuto solves the LLP, searches for a good proof, and executes SMA.
+// It fails when no good SM proof exists (e.g. Fig. 9 / Example 5.31), in
+// which case CSMA is the right tool.
+func RunAuto(q *query.Q) (*rel.Relation, *Stats, error) {
+	llp := bounds.LLP(q)
+	proof := FindProofAuto(q, llp)
 	if proof == nil {
 		return nil, nil, fmt.Errorf("smalg: no good SM proof sequence found among optimal dual weights")
 	}

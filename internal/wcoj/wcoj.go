@@ -8,6 +8,10 @@
 // consistency is checked as soon as possible — but neither uses FDs to
 // improve its search strategy or its bound, which is exactly why they are
 // Ω(N²) on the Example 5.8 instance while the Chain Algorithm is Õ(N^{3/2}).
+//
+// Both entry points are safe to call concurrently on frozen inputs: all
+// working state is per-call, and input relations are only read (their index
+// caches are mutex-guarded).
 package wcoj
 
 import (
@@ -172,13 +176,13 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 
 // BinaryPlan evaluates the query with a left-deep hash-join plan in the
 // given relation order, expanding and FD-filtering at the end — the
-// "traditional query plan" baseline of the introduction.
+// "traditional query plan" baseline of the introduction. A nil order means
+// the greedy order: start from the smallest relation and repeatedly join
+// the smallest relation sharing a variable with the accumulated set, so
+// connected join graphs never cross-product.
 func BinaryPlan(q *query.Q, relOrder []int) (*rel.Relation, *Stats, error) {
 	if len(relOrder) == 0 {
-		relOrder = make([]int, len(q.Rels))
-		for i := range relOrder {
-			relOrder[i] = i
-		}
+		relOrder = greedyOrder(q)
 	}
 	st := &Stats{}
 	var acc *rel.Relation
@@ -212,6 +216,35 @@ func BinaryPlan(q *query.Q, relOrder []int) (*rel.Relation, *Stats, error) {
 	}
 	out.SortDedup()
 	return out, st, nil
+}
+
+// greedyOrder picks a left-deep join order: smallest relation first, then
+// always the smallest not-yet-joined relation that shares a variable with
+// the accumulated variable set (ties by index; a disconnected join graph
+// falls back to the smallest remaining relation).
+func greedyOrder(q *query.Q) []int {
+	n := len(q.Rels)
+	order := make([]int, 0, n)
+	used := make([]bool, n)
+	var have varset.Set
+	for len(order) < n {
+		best := -1
+		bestConn := false
+		for j, r := range q.Rels {
+			if used[j] {
+				continue
+			}
+			conn := len(order) == 0 || !have.Intersect(r.VarSet()).IsEmpty()
+			if best < 0 || (conn && !bestConn) ||
+				(conn == bestConn && r.Len() < q.Rels[best].Len()) {
+				best, bestConn = j, conn
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		have = have.Union(q.Rels[best].VarSet())
+	}
+	return order
 }
 
 // DefaultOrder returns the identity variable order 0..K-1.

@@ -1,11 +1,13 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"repro/internal/chainalg"
 	"repro/internal/csma"
+	"repro/internal/engine"
 	"repro/internal/naive"
 	"repro/internal/paper"
 	"repro/internal/query"
@@ -50,6 +52,21 @@ func TestFuzzAllAlgorithms(t *testing.T) {
 		check("generic", out, err)
 		out, _, err = wcoj.BinaryPlan(q, nil)
 		check("binary", out, err)
+
+		// The engine's cost-based plan and its parallel partitioned
+		// execution must agree with the oracle too.
+		p, err := engine.Prepare(q)
+		if err != nil {
+			t.Fatalf("trial %d: prepare: %v", trial, err)
+		}
+		b, err := p.Bind(nil)
+		if err != nil {
+			t.Fatalf("trial %d: bind: %v", trial, err)
+		}
+		out, _, err = b.Run(context.Background(), &engine.Options{Workers: 1})
+		check("engine-auto", out, err)
+		out, _, err = b.Run(context.Background(), &engine.Options{Workers: 3, MinParallelRows: 1})
+		check("engine-parallel", out, err)
 	}
 }
 
