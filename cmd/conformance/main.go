@@ -1,0 +1,152 @@
+// Command conformance runs the scenario catalog through the differential
+// oracle: every scenario × every engine configuration (each algorithm,
+// sequential and parallel, plus prepared-rebind) against the naive
+// reference, with planner bound certification and metamorphic checks. It
+// writes a JSON report and exits non-zero on any failure.
+//
+//	conformance -tier small                    # CI tier, report to stdout
+//	conformance -tier full -stable -out CONFORMANCE.json
+//
+// -stable zeroes all wall-clock timings so a regenerated report diffs
+// cleanly against the committed evidence.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/oracle"
+	"repro/internal/scenario"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Tier      string `json:"tier"`
+	Scenarios int    `json:"scenarios"`
+	Passed    int    `json:"passed"`
+	Failed    int    `json:"failed"`
+
+	ConfigRuns     int `json:"config_runs"`
+	ConfigPasses   int `json:"config_passes"`
+	ConfigSkips    int `json:"config_skips"`
+	MetamorphicRun int `json:"metamorphic_runs"`
+
+	// Bound-certification stats over scenarios with a finite planner bound:
+	// slack is predicted log2 bound minus actual log2 output size.
+	BoundsCertified int      `json:"bounds_certified"`
+	BoundsFinite    int      `json:"bounds_finite"`
+	MinSlack        *float64 `json:"min_slack_log2,omitempty"`
+	MaxSlack        *float64 `json:"max_slack_log2,omitempty"`
+	MeanSlack       *float64 `json:"mean_slack_log2,omitempty"`
+
+	Millis  float64         `json:"millis"`
+	Results []oracle.Result `json:"results"`
+}
+
+func main() {
+	tierFlag := flag.String("tier", "full", "catalog tier to run: small|full")
+	outFlag := flag.String("out", "-", "report path, - for stdout")
+	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
+	stable := flag.Bool("stable", false, "zero all timings for a diff-stable committed report")
+	flag.Parse()
+
+	tier, err := scenario.ParseTier(*tierFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	cfgs := oracle.DefaultConfigs()
+	rep := Report{Tier: *tierFlag}
+	var slackSum float64
+	for _, in := range scenario.Instances(tier) {
+		res := oracle.CheckInstance(context.Background(), in, cfgs)
+		rep.Scenarios++
+		if res.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+		for _, c := range res.Configs {
+			rep.ConfigRuns++
+			switch c.Status {
+			case oracle.StatusPass:
+				rep.ConfigPasses++
+			case oracle.StatusSkip:
+				rep.ConfigSkips++
+			}
+		}
+		rep.MetamorphicRun += len(res.Metamorphic)
+		if res.BoundCertified {
+			rep.BoundsCertified++
+		}
+		if res.BoundSlack != nil {
+			rep.BoundsFinite++
+			s := *res.BoundSlack
+			slackSum += s
+			if rep.MinSlack == nil || s < *rep.MinSlack {
+				rep.MinSlack = ptr(s)
+			}
+			if rep.MaxSlack == nil || s > *rep.MaxSlack {
+				rep.MaxSlack = ptr(s)
+			}
+		}
+		rep.Results = append(rep.Results, res)
+		if *verbose {
+			status := "ok"
+			if !res.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "%-4s %-40s plan=%s out=%d %.0fms\n",
+				status, res.Scenario, res.PlanAlgorithm, res.OutRows, res.Millis)
+			for _, f := range res.Failures {
+				fmt.Fprintf(os.Stderr, "     %s\n", f)
+			}
+		}
+	}
+	if rep.BoundsFinite > 0 {
+		rep.MeanSlack = ptr(round3(slackSum / float64(rep.BoundsFinite)))
+		*rep.MinSlack = round3(*rep.MinSlack)
+		*rep.MaxSlack = round3(*rep.MaxSlack)
+	}
+	rep.Millis = float64(time.Since(start).Microseconds()) / 1000
+	if *stable {
+		rep.Millis = 0
+		for i := range rep.Results {
+			rep.Results[i].Millis = 0
+			for j := range rep.Results[i].Configs {
+				rep.Results[i].Configs[j].Millis = 0
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if *outFlag == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*outFlag, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "conformance: %d scenarios, %d passed, %d failed, %d config runs (%d skips), %d bounds certified\n",
+		rep.Scenarios, rep.Passed, rep.Failed, rep.ConfigRuns, rep.ConfigSkips, rep.BoundsCertified)
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func ptr(f float64) *float64 { return &f }
+
+// round3 keeps the committed report diff-stable across float noise.
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }

@@ -162,21 +162,9 @@ func TestPlannerPicksBinaryOnTinyInput(t *testing.T) {
 // the same rows in the same order.
 func identical(t *testing.T, a, b *rel.Relation) {
 	t.Helper()
-	if a.Arity() != b.Arity() || a.Len() != b.Len() {
-		t.Fatalf("shape mismatch: %dx%d vs %dx%d", a.Len(), a.Arity(), b.Len(), b.Arity())
-	}
-	for c := 0; c < a.Arity(); c++ {
-		if a.Attrs[c] != b.Attrs[c] {
-			t.Fatalf("attribute order differs: %v vs %v", a.Attrs, b.Attrs)
-		}
-	}
-	for i := 0; i < a.Len(); i++ {
-		ra, rb := a.Row(i), b.Row(i)
-		for c := range ra {
-			if ra[c] != rb[c] {
-				t.Fatalf("row %d differs: %v vs %v", i, ra, rb)
-			}
-		}
+	if !rel.Identical(a, b) {
+		t.Fatalf("outputs not byte-identical: %dx%d attrs %v vs %dx%d attrs %v",
+			a.Len(), a.Arity(), a.Attrs, b.Len(), b.Arity(), b.Attrs)
 	}
 }
 

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/naive"
+	"repro/internal/paper"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// --- parallel partition fallback paths ---
+
+func TestRunPartitionSMFallsBackToCSMA(t *testing.T) {
+	// Fig. 9 has no good SM proof at any size, so a planner-chosen (i.e.
+	// non-explicit) AlgSM plan reaching a partition must fall back — first
+	// CSMA, then Generic-Join — and still produce the exact answer.
+	q, _ := paper.Fig9Instance(16)
+	plan := &Plan{Algorithm: AlgSM} // planner-style: explicit == false
+	out, err := runPartition(q, plan)
+	if err != nil {
+		t.Fatalf("fallback did not rescue the partition: %v", err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("fallback output disagrees with naive")
+	}
+}
+
+func TestRunPartitionPlannerChainOnEmptyPartition(t *testing.T) {
+	// A planner-supplied chain must survive a partition whose relations are
+	// empty (hash partitioning routinely produces them).
+	q := paper.SimpleFDChain(4, 128)
+	p, err := Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := b.Plan()
+	if plan.Algorithm != AlgChain {
+		t.Fatalf("precondition: expected chain plan, got %s", plan.Algorithm)
+	}
+	empty := make([]*rel.Relation, len(q.Rels))
+	for j, r := range q.Rels {
+		empty[j] = rel.New(r.Name, r.Attrs...)
+	}
+	out, err := runPartition(q.WithFreshRels(empty), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty partition produced %d rows", out.Len())
+	}
+}
+
+func TestParallelPlannerSMFallbackMatchesSequential(t *testing.T) {
+	// Fig. 4: the planner picks SM on the full instance; partitions re-plan
+	// at their own sizes and may fail the proof search, exercising the
+	// per-partition fallback inside a real parallel Run. The merged result
+	// must stay byte-identical to the sequential one.
+	q, _ := paper.Fig4Instance(125)
+	seq, stSeq := mustRun(t, q, &Options{Workers: 1})
+	if stSeq.Plan.Algorithm != AlgSM {
+		t.Fatalf("precondition: expected SM plan, got %s", stSeq.Plan.Algorithm)
+	}
+	par, stPar := mustRun(t, q, &Options{Workers: 4, MinParallelRows: 1})
+	if stPar.Workers != 4 {
+		t.Fatalf("parallelism not exercised: %+v", stPar)
+	}
+	identical(t, seq, par)
+}
+
+func TestChoosePartitionVar(t *testing.T) {
+	// Chain plans partition on the chain's first climbing step; other plans
+	// partition on the most-covered variable; a query whose only relations
+	// are arity-0 has nothing to partition.
+	q := paper.SimpleFDChain(4, 128)
+	p, _ := Prepare(q)
+	b, _ := p.Bind(nil)
+	plan := b.Plan()
+	if plan.Algorithm != AlgChain {
+		t.Fatalf("precondition: chain plan, got %s", plan.Algorithm)
+	}
+	if v := choosePartitionVar(q, plan); v < 0 {
+		t.Fatal("chain plan found no partition variable")
+	}
+
+	tri := paper.TriangleProduct(8)
+	generic := &Plan{Algorithm: AlgGenericJoin}
+	if v := choosePartitionVar(tri, generic); v < 0 {
+		t.Fatal("triangle found no partition variable")
+	}
+
+	empty := query.New()
+	empty.AddRel(rel.New("E"))
+	if v := choosePartitionVar(empty, generic); v != -1 {
+		t.Fatalf("nothing is partitionable in an arity-0 query, got %d", v)
+	}
+}
+
+// --- satellite: plan stats must be deterministic and stable ---
+
+// TestPlanStatsDeterministic asserts that the recorded plan (algorithm,
+// predicted bound, rationale) is identical across repeated Bind/Run on the
+// same shape, across Runs on the same Bound, and across a fresh Prepare of
+// an identical query.
+func TestPlanStatsDeterministic(t *testing.T) {
+	shapes := []struct {
+		name  string
+		build func() *query.Q
+	}{
+		{"chain", func() *query.Q { return paper.SimpleFDChain(4, 256) }},
+		{"csma", func() *query.Q { return paper.DegreeTriangle(512, 2) }},
+		{"generic", func() *query.Q { return paper.TriangleProduct(16) }},
+		{"sm", func() *query.Q { q, _ := paper.Fig4Instance(125); return q }},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			q := sh.build()
+			p, err := Prepare(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref *Stats
+			for rep := 0; rep < 3; rep++ {
+				b, err := p.Bind(q.Rels)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for run := 0; run < 2; run++ {
+					_, st, err := b.Run(context.Background(), &Options{Workers: 1})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ref == nil {
+						ref = st
+						if st.Plan.Reason == "" {
+							t.Fatal("plan rationale not recorded")
+						}
+						continue
+					}
+					if st.Plan.Algorithm != ref.Plan.Algorithm ||
+						st.Plan.LogBound != ref.Plan.LogBound ||
+						st.Plan.Reason != ref.Plan.Reason {
+						t.Fatalf("plan drifted across Bind/Run (rep %d, run %d): %+v vs %+v",
+							rep, run, st.Plan, ref.Plan)
+					}
+				}
+			}
+			// A fresh Prepare of an identical query must plan identically.
+			q2 := sh.build()
+			p2, err := Prepare(q2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := p2.Bind(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl2 := b2.Plan()
+			if pl2.Algorithm != ref.Plan.Algorithm || pl2.LogBound != ref.Plan.LogBound ||
+				pl2.Reason != ref.Plan.Reason {
+				t.Fatalf("fresh prepare planned differently: %+v vs %+v", pl2, ref.Plan)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package rel
+
+import "testing"
+
+// rowsOf materializes a relation's rows as [][]Value for comparison.
+func rowsOf(r *Relation) [][]Value {
+	out := make([][]Value, r.Len())
+	for i := range out {
+		out[i] = append([]Value(nil), r.Row(i)...)
+	}
+	return out
+}
+
+// buildSorted makes a relation over attrs from rows and SortDedups it, the
+// contract MergeSorted requires of each source.
+func buildSorted(attrs []int, rows [][]Value) *Relation {
+	r := New("part", attrs...)
+	for _, row := range rows {
+		r.AddTuple(row)
+	}
+	r.SortDedup()
+	return r
+}
+
+func TestMergeSortedEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []int
+		parts [][][]Value
+		want  [][]Value
+	}{
+		{
+			name:  "single part",
+			attrs: []int{0, 1},
+			parts: [][][]Value{{{1, 2}, {3, 4}}},
+			want:  [][]Value{{1, 2}, {3, 4}},
+		},
+		{
+			name:  "one empty part among non-empty",
+			attrs: []int{0, 1},
+			parts: [][][]Value{{{5, 5}}, {}, {{1, 1}}},
+			want:  [][]Value{{1, 1}, {5, 5}},
+		},
+		{
+			name:  "all parts empty",
+			attrs: []int{0, 1},
+			parts: [][][]Value{{}, {}, {}},
+			want:  [][]Value{},
+		},
+		{
+			name:  "all-duplicate rows across parts",
+			attrs: []int{0, 1},
+			parts: [][][]Value{
+				{{7, 7}, {7, 8}},
+				{{7, 7}, {7, 8}},
+				{{7, 7}},
+			},
+			want: [][]Value{{7, 7}, {7, 8}},
+		},
+		{
+			name:  "interleaved runs",
+			attrs: []int{0},
+			parts: [][][]Value{
+				{{0}, {2}, {4}, {6}},
+				{{1}, {3}, {5}},
+				{{2}, {3}, {7}},
+			},
+			want: [][]Value{{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}},
+		},
+		{
+			name:  "arity-0 with rows",
+			attrs: []int{},
+			parts: [][][]Value{{{}}, {{}, {}}},
+			want:  [][]Value{{}},
+		},
+		{
+			name:  "arity-0 all empty",
+			attrs: []int{},
+			parts: [][][]Value{{}, {}},
+			want:  [][]Value{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srcs := make([]*Relation, len(tc.parts))
+			for i, rows := range tc.parts {
+				srcs[i] = buildSorted(tc.attrs, rows)
+			}
+			got := MergeSorted("Q", srcs)
+			if got.Len() != len(tc.want) {
+				t.Fatalf("got %d rows, want %d", got.Len(), len(tc.want))
+			}
+			for i, row := range rowsOf(got) {
+				for c := range row {
+					if row[c] != tc.want[i][c] {
+						t.Fatalf("row %d: got %v want %v", i, row, tc.want[i])
+					}
+				}
+			}
+			// The merge must agree with the reference: concatenate + SortDedup.
+			ref := New("ref", tc.attrs...)
+			for _, rows := range tc.parts {
+				for _, row := range rows {
+					ref.AddTuple(row)
+				}
+			}
+			ref.SortDedup()
+			if ref.Len() != got.Len() {
+				t.Fatalf("merge (%d rows) disagrees with concat+SortDedup (%d rows)", got.Len(), ref.Len())
+			}
+		})
+	}
+}
+
+func TestMergeSortedPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("no sources", func() { MergeSorted("Q", nil) })
+	mustPanic("schema mismatch", func() {
+		a := New("A", 0, 1)
+		b := New("B", 1, 0)
+		MergeSorted("Q", []*Relation{a, b})
+	})
+}

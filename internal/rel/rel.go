@@ -283,6 +283,14 @@ func (r *Relation) Project(vars varset.Set) *Relation {
 	return out
 }
 
+// Identical reports whether two relations are byte-identical: the same
+// attribute order and the same rows in the same order. Stricter than Equal
+// (which compares row sets over the variable set); this is the equality the
+// conformance oracle and the parallel-vs-sequential checks demand.
+func Identical(a, b *Relation) bool {
+	return a.n == b.n && slices.Equal(a.Attrs, b.Attrs) && slices.Equal(a.data, b.data)
+}
+
 // Equal reports whether two relations contain the same set of rows over the
 // same variable set (attribute order may differ).
 func Equal(a, b *Relation) bool {

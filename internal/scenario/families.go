@@ -1,0 +1,216 @@
+// The catalog: every named scenario family, with its small-tier (CI) and
+// full-tier (evidence) parameter grids. Families group into prefixes:
+//
+//	paper/  the paper's own example queries and worst-case instances
+//	motif/  FD-free graph motifs over random edges
+//	skew/   Zipf-skewed and near-product data distributions
+//	fd/     adversarial FD structures (guarded chains, DAGs, cycles, UDFs)
+//	worst/  bound-saturating constructions (planner slack ≈ 0)
+//
+// Size semantics are per family (see each Desc). All randomized families
+// fold Params.Seed into their rng, so instances are reproducible.
+package scenario
+
+import (
+	"math/rand"
+
+	"repro/internal/paper"
+	"repro/internal/query"
+)
+
+var catalog = []*Family{
+	// --- paper examples -------------------------------------------------
+	{
+		Name:  "paper/triangle-product",
+		Desc:  "AGM worst-case triangle: each relation is [m]x[m], m = Size, output m^3 (Sec. 2, Eq. 4)",
+		Small: []Params{{Size: 4}},
+		Full:  []Params{{Size: 8}},
+		Build: func(p Params) *query.Q { return paper.TriangleProduct(p.Size) },
+	},
+	{
+		Name:  "paper/triangle-random",
+		Desc:  "triangle with Size random edges per relation over a Size/4-element domain (dense enough for triangles)",
+		Small: []Params{{Size: 48, Seed: 1}},
+		Full:  []Params{{Size: 256, Seed: 2}},
+		Build: func(p Params) *query.Q {
+			m := p.Size / 4
+			if m < 4 {
+				m = 4
+			}
+			return paper.TriangleRandom(m, p.Size, p.Seed)
+		},
+	},
+	{
+		Name:  "paper/fig1-skew",
+		Desc:  "running example on the Example 5.8 skew instance (hub value 1), Size rows per relation",
+		Small: []Params{{Size: 64}},
+		Full:  []Params{{Size: 256}},
+		Build: func(p Params) *query.Q { return paper.Fig1Skew(p.Size) },
+	},
+	{
+		Name:  "paper/fig1-quasi",
+		Desc:  "running example on the Example 3.8/5.5 quasi-product instance, Size rows per relation, output Size^{3/2}",
+		Small: []Params{{Size: 16}},
+		Full:  []Params{{Size: 64}},
+		Build: func(p Params) *query.Q { return paper.Fig1QuasiProduct(p.Size) },
+	},
+	{
+		Name:  "paper/m3-mod",
+		Desc:  "M3 query with the i+j+k ≡ 0 (mod Size) instance, output Size^2 (Example 5.12)",
+		Small: []Params{{Size: 24}},
+		Full:  []Params{{Size: 48}},
+		Build: func(p Params) *query.Q { return paper.M3Instance(p.Size) },
+	},
+	{
+		Name:  "paper/fig4",
+		Desc:  "Fig. 4 query on its quasi-product worst case, ~Size rows per relation, output Size^{4/3} (Examples 5.18/5.20)",
+		Small: []Params{{Size: 64}},
+		Full:  []Params{{Size: 125}},
+		Build: func(p Params) *query.Q { q, _ := paper.Fig4Instance(p.Size); return q },
+	},
+	{
+		Name:  "paper/fig9",
+		Desc:  "Fig. 9 query (no SM proof exists, CSMA required) on its worst case, Size rows per relation (Example 5.31)",
+		Small: []Params{{Size: 16}},
+		Full:  []Params{{Size: 64}},
+		Build: func(p Params) *query.Q { q, _ := paper.Fig9Instance(p.Size); return q },
+	},
+	{
+		Name:  "paper/fig5",
+		Desc:  "Fig. 5 query R(x), S(y), z=f(x,y) with R=S=[Size], output Size^2 (Example 5.10)",
+		Small: []Params{{Size: 16}},
+		Full:  []Params{{Size: 48}},
+		Build: func(p Params) *query.Q { return paper.Fig5Instance(p.Size) },
+	},
+	{
+		Name:  "paper/degree-triangle",
+		Desc:  "triangle with explicit degree bounds d=4 on a circulant instance of Size edges (Sec. 5.3)",
+		Small: []Params{{Size: 64}},
+		Full:  []Params{{Size: 512}},
+		Build: func(p Params) *query.Q { return paper.DegreeTriangle(p.Size, 4) },
+	},
+	{
+		Name:  "paper/colored-triangle",
+		Desc:  "Eq. (2) colored triangle with guarded FDs xc1→y, yc2→x, xy→c1c2, Size edges, d=4 colors",
+		Small: []Params{{Size: 64}},
+		Full:  []Params{{Size: 256}},
+		Build: func(p Params) *query.Q { return paper.ColoredTriangle(p.Size, 4) },
+	},
+	{
+		Name:  "paper/four-cycle-key",
+		Desc:  "4-cycle with simple key y→z guarded in S, diagonal instance of Size rows per relation (Sec. 2)",
+		Small: []Params{{Size: 32}},
+		Full:  []Params{{Size: 256}},
+		Build: func(p Params) *query.Q { return paper.FourCycleWithKey(p.Size) },
+	},
+	{
+		Name:  "paper/composite-key",
+		Desc:  "R(x), S(y), T(x,y,z) with composite key xy→z, |R|=|S|=Size, |T|=Size^2 (Sec. 2)",
+		Small: []Params{{Size: 12}},
+		Full:  []Params{{Size: 32}},
+		Build: func(p Params) *query.Q { return paper.CompositeKey(p.Size, p.Size*p.Size) },
+	},
+	{
+		Name:  "paper/simple-fd-chain",
+		Desc:  "5-variable path with simple guarded FDs on even steps, Size rows per relation (Cor. 5.17 regime)",
+		Small: []Params{{Size: 48}},
+		Full:  []Params{{Size: 256}},
+		Build: func(p Params) *query.Q { return paper.SimpleFDChain(5, p.Size) },
+	},
+
+	// --- graph motifs ---------------------------------------------------
+	{
+		Name:  "motif/path",
+		Desc:  "4-variable path join, Size random edges per relation",
+		Small: []Params{{Size: 48, Seed: 1}},
+		Full:  []Params{{Size: 256, Seed: 2}, {Size: 256, Seed: 3}},
+		Build: func(p Params) *query.Q { return PathQuery(4, p.Size, p.Seed) },
+	},
+	{
+		Name:  "motif/star",
+		Desc:  "3-leaf star join, Size random edges per relation",
+		Small: []Params{{Size: 48, Seed: 1}},
+		Full:  []Params{{Size: 192, Seed: 2}},
+		Build: func(p Params) *query.Q { return StarQuery(3, p.Size, p.Seed) },
+	},
+	{
+		Name:  "motif/clique4",
+		Desc:  "4-clique join (6 binary relations), Size random edges per relation",
+		Small: []Params{{Size: 32, Seed: 1}},
+		Full:  []Params{{Size: 128, Seed: 2}},
+		Build: func(p Params) *query.Q { return CliqueQuery(4, p.Size, p.Seed) },
+	},
+	{
+		Name:  "motif/cycle4",
+		Desc:  "4-cycle join, Size random edges per relation",
+		Small: []Params{{Size: 48, Seed: 1}},
+		Full:  []Params{{Size: 256, Seed: 2}},
+		Build: func(p Params) *query.Q { return CycleQuery(4, p.Size, p.Seed) },
+	},
+
+	// --- skewed data ----------------------------------------------------
+	{
+		Name:  "skew/zipf-triangle",
+		Desc:  "triangle with Zipf(1.3)-distributed endpoints, Size edges per relation (heavy-hitter joins)",
+		Small: []Params{{Size: 48, Seed: 1}},
+		Full:  []Params{{Size: 256, Seed: 2}},
+		Build: func(p Params) *query.Q { return ZipfTriangle(p.Size, p.Seed) },
+	},
+	{
+		Name:  "skew/zipf-star",
+		Desc:  "3-leaf star with Zipf(1.3)-distributed center values, Size edges per relation",
+		Small: []Params{{Size: 32, Seed: 1}},
+		Full:  []Params{{Size: 96, Seed: 2}},
+		Build: func(p Params) *query.Q { return ZipfStar(p.Size, p.Seed) },
+	},
+	{
+		Name:  "skew/near-product",
+		Desc:  "triangle: dense √Size x √Size product block plus Size/2 uniform noise edges",
+		Small: []Params{{Size: 48, Seed: 1}},
+		Full:  []Params{{Size: 256, Seed: 2}},
+		Build: func(p Params) *query.Q { return NearProduct(p.Size, p.Seed) },
+	},
+
+	// --- adversarial FD structures --------------------------------------
+	{
+		Name:  "fd/chain-guarded",
+		Desc:  "random 5-variable path whose FDs are guarded simple keys (coin per step), Size rows per relation",
+		Small: []Params{{Size: 48, Seed: 1}},
+		Full:  []Params{{Size: 128, Seed: 2}},
+		Build: func(p Params) *query.Q {
+			return RandomSimpleKeyQuery(rand.New(rand.NewSource(p.Seed)), 5, p.Size)
+		},
+	},
+	{
+		Name:  "fd/dag",
+		Desc:  "diamond FD DAG x→y, x→z, yz→u (all guarded), Size consistent base rows plus noise",
+		Small: []Params{{Size: 32, Seed: 1}},
+		Full:  []Params{{Size: 256, Seed: 2}},
+		Build: func(p Params) *query.Q { return FDDag(p.Size, p.Seed) },
+	},
+	{
+		Name:  "fd/cycle",
+		Desc:  "cyclic guarded keys x→y, y→z, z→x on a triangle of affine chains, Size rows per relation",
+		Small: []Params{{Size: 32, Seed: 1}},
+		Full:  []Params{{Size: 256, Seed: 2}},
+		Build: func(p Params) *query.Q { return FDCycle(p.Size, p.Seed) },
+	},
+	{
+		Name:  "fd/random-udf",
+		Desc:  "random 4-variable query with a random UDF FD, FD-consistent data, Size base rows (fuzz-style)",
+		Small: []Params{{Size: 24, Seed: 1}},
+		Full:  []Params{{Size: 96, Seed: 2}, {Size: 96, Seed: 3}},
+		Build: func(p Params) *query.Q {
+			return RandomQuery(rand.New(rand.NewSource(p.Seed)), 4, 3, p.Size, 6, true)
+		},
+	},
+
+	// --- bound-saturating worst cases -----------------------------------
+	{
+		Name:  "worst/agm-product",
+		Desc:  "random triangle sizes, instance replaced by the Theorem 2.1 AGM-saturating product (slack ≈ 0)",
+		Small: []Params{{Size: 32, Seed: 1}},
+		Full:  []Params{{Size: 128, Seed: 2}},
+		Build: func(p Params) *query.Q { return AGMProduct(p.Size, p.Seed) },
+	},
+}

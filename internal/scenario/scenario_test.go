@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/naive"
+)
+
+// Every catalog instance — full tier, which includes the small tier — must
+// build, validate (data consistent with its declared FDs and degree
+// bounds), and be reproducible: building twice yields byte-identical
+// relations. Build+Validate is cheap (no oracle matrix), so the committed
+// evidence params can't rot between CONFORMANCE.json regenerations.
+func TestCatalogBuildsAndValidates(t *testing.T) {
+	for _, in := range Instances(TierFull) {
+		in := in
+		t.Run(in.Name, func(t *testing.T) {
+			q := in.Build()
+			if err := q.Validate(); err != nil {
+				t.Fatalf("instance does not validate: %v", err)
+			}
+			if q.TotalSize() == 0 {
+				t.Fatal("instance is empty")
+			}
+			q2 := in.Build()
+			if len(q.Rels) != len(q2.Rels) {
+				t.Fatal("rebuild changed relation count")
+			}
+			for j := range q.Rels {
+				a, b := q.Rels[j], q2.Rels[j]
+				if a.Len() != b.Len() || a.Arity() != b.Arity() {
+					t.Fatalf("rebuild changed relation %d shape", j)
+				}
+				for i := 0; i < a.Len(); i++ {
+					ra, rb := a.Row(i), b.Row(i)
+					for c := range ra {
+						if ra[c] != rb[c] {
+							t.Fatalf("rebuild changed relation %d row %d", j, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range Catalog() {
+		if seen[f.Name] {
+			t.Fatalf("duplicate family name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if len(f.Small) == 0 {
+			t.Fatalf("family %q has no small-tier params", f.Name)
+		}
+		if f.Desc == "" {
+			t.Fatalf("family %q has no description", f.Name)
+		}
+	}
+	names := map[string]bool{}
+	for _, in := range Instances(TierFull) {
+		if names[in.Name] {
+			t.Fatalf("duplicate instance name %q", in.Name)
+		}
+		names[in.Name] = true
+	}
+}
+
+func TestFullTierIncludesSmall(t *testing.T) {
+	small := len(Instances(TierSmall))
+	full := len(Instances(TierFull))
+	if full <= small {
+		t.Fatalf("full tier (%d) must extend the small tier (%d)", full, small)
+	}
+}
+
+func TestParseTier(t *testing.T) {
+	if tr, err := ParseTier("small"); err != nil || tr != TierSmall {
+		t.Fatalf("small: got %v, %v", tr, err)
+	}
+	if tr, err := ParseTier("full"); err != nil || tr != TierFull {
+		t.Fatalf("full: got %v, %v", tr, err)
+	}
+	if _, err := ParseTier("medium"); err == nil {
+		t.Fatal("expected error for unknown tier")
+	}
+}
+
+// The worst-case families exist to saturate their bounds; spot-check the
+// AGM product construction really attains the product of the domains.
+func TestAGMProductSaturates(t *testing.T) {
+	q := AGMProduct(32, 1)
+	out := naive.Evaluate(q)
+	if out.Len() == 0 {
+		t.Fatal("AGM product instance has empty output")
+	}
+	// Each relation is a full product of its variables' domains, so the
+	// output must be the product of all three domain sizes.
+	total := 1
+	for v := 0; v < q.K; v++ {
+		seen := map[Value]bool{}
+		for _, r := range q.Rels {
+			c := r.Col(v)
+			if c < 0 {
+				continue
+			}
+			for i := 0; i < r.Len(); i++ {
+				seen[r.Row(i)[c]] = true
+			}
+		}
+		total *= len(seen)
+	}
+	if out.Len() != total {
+		t.Fatalf("AGM product output %d != product of domains %d", out.Len(), total)
+	}
+}

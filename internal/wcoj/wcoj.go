@@ -247,11 +247,64 @@ func greedyOrder(q *query.Q) []int {
 	return order
 }
 
-// DefaultOrder returns the identity variable order 0..K-1.
+// DefaultOrder returns the variable order GenericJoin runs with absent an
+// explicit one: ascending variable id, except that a variable stored in no
+// relation is deferred until the variables ordered before it can actually
+// derive it (via a guarded FD lookup or a UDF, matching expand.Extend).
+// The plain identity order would dead-end on queries whose derived
+// variables precede their determining sets — e.g. Fig. 9, where P, S, T
+// are derivable only after an input variable M, N, or O is bound.
 func DefaultOrder(q *query.Q) []int {
-	o := make([]int, q.K)
-	for i := range o {
-		o[i] = i
+	covered := q.CoveredVars()
+	order := make([]int, 0, q.K)
+	var have varset.Set
+	for len(order) < q.K {
+		reach := derivableFrom(q, have)
+		picked := -1
+		for v := 0; v < q.K; v++ {
+			if !have.Contains(v) && (covered.Contains(v) || reach.Contains(v)) {
+				picked = v
+				break
+			}
+		}
+		if picked < 0 {
+			// Not computable from the prefix (CheckComputable rejects such
+			// queries); append the lowest remaining variable and let
+			// GenericJoin report the error.
+			for v := 0; v < q.K; v++ {
+				if !have.Contains(v) {
+					picked = v
+					break
+				}
+			}
+		}
+		order = append(order, picked)
+		have = have.Add(picked)
 	}
-	return o
+	return order
+}
+
+// derivableFrom returns the fixpoint of variables expand.Extend can bind
+// starting from have: an FD applies when its From is available and it
+// either has a guard relation to look up or a UDF for the target variable.
+func derivableFrom(q *query.Q, have varset.Set) varset.Set {
+	cl := have
+	for changed := true; changed; {
+		changed = false
+		for _, f := range q.FDs.FDs {
+			if !cl.ContainsAll(f.From) || cl.ContainsAll(f.To) {
+				continue
+			}
+			for _, v := range f.To.Members() {
+				if cl.Contains(v) {
+					continue
+				}
+				if f.Guarded() || (f.Fns != nil && f.Fns[v] != nil) {
+					cl = cl.Add(v)
+					changed = true
+				}
+			}
+		}
+	}
+	return cl
 }

@@ -101,6 +101,30 @@ func TestGenericJoinM3(t *testing.T) {
 	}
 }
 
+func TestDefaultOrderDefersDerivedVariables(t *testing.T) {
+	// Fig. 9 stores only D, E, F, M, N, O; P, S, T exist in no relation and
+	// are derivable only after M or N is bound. The identity order dead-ends
+	// on P at depth 3; DefaultOrder must defer it past a determining input
+	// variable, and GenericJoin must then agree with naive.
+	q, _ := paper.Fig9Instance(16)
+	order := DefaultOrder(q)
+	pos := make([]int, q.K)
+	for i, v := range order {
+		pos[v] = i
+	}
+	// P (var 3) must come after at least one of M (6), N (7).
+	if pos[3] < pos[6] && pos[3] < pos[7] {
+		t.Fatalf("order %v binds derived P before any determining input", order)
+	}
+	out, _, err := GenericJoin(q, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("generic join disagrees with naive on Fig9")
+	}
+}
+
 func TestGenericJoinBadOrderLength(t *testing.T) {
 	q := paper.TriangleProduct(2)
 	if _, _, err := GenericJoin(q, []int{0, 1}); err == nil {

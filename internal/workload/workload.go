@@ -1,180 +1,38 @@
-// Package workload generates synthetic database instances beyond the
-// paper-specific constructions in internal/paper: AGM worst-case product
-// instances derived from the fractional vertex packing (Theorem 2.1 part 2),
-// and random FD-consistent queries + instances for differential fuzzing of
-// the algorithms.
+// Package workload keeps the historical entry points for synthetic
+// instance generation. The generators themselves now live in
+// internal/scenario, where they are organized into the named, parameterized
+// scenario catalog that cmd/conformance and internal/oracle drive; this
+// package delegates so existing callers keep working, and new code should
+// target the catalog directly.
 package workload
 
 import (
-	"fmt"
-	"math"
 	"math/rand"
 
-	"repro/internal/bounds"
-	"repro/internal/fd"
 	"repro/internal/query"
 	"repro/internal/rel"
-	"repro/internal/varset"
+	"repro/internal/scenario"
 )
 
 // Value aliases the relational value type.
 type Value = rel.Value
 
 // ProductInstance replaces every relation of q (which must have no FDs)
-// with the product instance of Theorem 2.1 part 2: solve the fractional
-// vertex packing with the current log sizes, give variable x_i a domain of
-// ⌈2^{v_i}⌉ values, and set R_j = Π_{x_i ∈ R_j} Domain(x_i). The output of
-// the new instance is Π_i 2^{v_i} ≈ the AGM bound.
+// with the AGM-saturating product instance of Theorem 2.1 part 2. See
+// scenario.ProductInstance.
 func ProductInstance(q *query.Q) (*query.Q, error) {
-	if len(q.FDs.FDs) != 0 {
-		return nil, fmt.Errorf("workload: product instances require a query without FDs")
-	}
-	pack := bounds.VertexPacking(q)
-	if pack == nil {
-		return nil, fmt.Errorf("workload: vertex packing unbounded (isolated variable)")
-	}
-	domain := make([]int, q.K)
-	for i, v := range pack.Values {
-		f, _ := v.Float64()
-		domain[i] = int(math.Ceil(math.Exp2(f)))
-		if domain[i] < 1 {
-			domain[i] = 1
-		}
-	}
-	rels := make([]*rel.Relation, len(q.Rels))
-	for j, r := range q.Rels {
-		nr := rel.New(r.Name, r.Attrs...)
-		var recur func(d int, t rel.Tuple)
-		recur = func(d int, t rel.Tuple) {
-			if d == len(r.Attrs) {
-				nr.Add(t...)
-				return
-			}
-			for v := 0; v < domain[r.Attrs[d]]; v++ {
-				t[d] = Value(v)
-				recur(d+1, t)
-			}
-		}
-		recur(0, make(rel.Tuple, len(r.Attrs)))
-		rels[j] = nr
-	}
-	return q.WithFreshRels(rels), nil
+	return scenario.ProductInstance(q)
 }
 
-// RandomQuery generates a random query with nVars variables, nRels binary
-// or ternary relations, and optionally a random simple FD chain plus a
-// random UDF FD, filled with FD-consistent random data. The generated
-// query always validates; its UDF assigns the sum of the sources so that
-// instances can be made consistent by construction.
+// RandomQuery generates a random FD-consistent query for differential
+// fuzzing. See scenario.RandomQuery.
 func RandomQuery(rng *rand.Rand, nVars, nRels, nRows, domain int, withFDs bool) *query.Q {
-	names := make([]string, nVars)
-	for i := range names {
-		names[i] = fmt.Sprintf("v%d", i)
-	}
-	q := query.New(names...)
-
-	// Random relation schemas covering all variables.
-	covered := varset.Empty
-	for j := 0; j < nRels; j++ {
-		arity := 2 + rng.Intn(2)
-		var attrs []int
-		seen := varset.Empty
-		// Force coverage: include the lowest uncovered variable if any.
-		if u := q.AllVars().Diff(covered); !u.IsEmpty() {
-			v := u.Min()
-			attrs = append(attrs, v)
-			seen = seen.Add(v)
-		}
-		for len(attrs) < arity {
-			v := rng.Intn(nVars)
-			if !seen.Contains(v) {
-				attrs = append(attrs, v)
-				seen = seen.Add(v)
-			}
-		}
-		covered = covered.Union(seen)
-		q.AddRel(rel.New(fmt.Sprintf("R%d", j), attrs...))
-	}
-	// Cover leftovers with one extra relation.
-	if u := q.AllVars().Diff(covered); !u.IsEmpty() {
-		q.AddRel(rel.New("Rcov", u.Members()...))
-	}
-
-	var udfFD *fd.FD
-	if withFDs && nVars >= 3 {
-		// One UDF FD {a,b} → c with c ∉ {a,b}, computed as sum mod domain.
-		a, b := rng.Intn(nVars), rng.Intn(nVars)
-		for b == a {
-			b = rng.Intn(nVars)
-		}
-		c := rng.Intn(nVars)
-		for c == a || c == b {
-			c = rng.Intn(nVars)
-		}
-		mod := Value(domain)
-		q.FDs.AddUDF(varset.Of(a, b), c, func(args []Value) Value {
-			return (args[0] + args[1]) % mod
-		})
-		udfFD = &q.FDs.FDs[len(q.FDs.FDs)-1]
-	}
-
-	// Random data: generate full random assignments over all variables,
-	// apply the UDF to force consistency, then project into each relation.
-	// This guarantees the relations are satisfiable together (non-empty
-	// outputs are common) while extra random rows add noise.
-	full := make([]Value, nVars)
-	for t := 0; t < nRows; t++ {
-		for i := range full {
-			full[i] = Value(rng.Intn(domain))
-		}
-		if udfFD != nil {
-			from := udfFD.From.Members()
-			to := udfFD.To.Min()
-			full[to] = udfFD.Fns[to]([]Value{full[from[0]], full[from[1]]})
-		}
-		for _, r := range q.Rels {
-			// Project with probability 3/4 so relations differ.
-			if rng.Intn(4) == 0 {
-				continue
-			}
-			tu := make(rel.Tuple, r.Arity())
-			for i, v := range r.Attrs {
-				tu[i] = full[v]
-			}
-			r.AddTuple(tu)
-		}
-	}
-	for _, r := range q.Rels {
-		r.SortDedup()
-	}
-	return q
+	return scenario.RandomQuery(rng, nVars, nRels, nRows, domain, withFDs)
 }
 
 // RandomSimpleKeyQuery builds a random query whose only FDs are simple keys
-// guarded in binary relations — the class for which AGM(Q⁺) is tight and
-// the chain algorithm is worst-case optimal (Cor. 5.17).
+// guarded in binary relations (the Cor. 5.17 regime). See
+// scenario.RandomSimpleKeyQuery.
 func RandomSimpleKeyQuery(rng *rand.Rand, nVars, nRows int) *query.Q {
-	names := make([]string, nVars)
-	for i := range names {
-		names[i] = fmt.Sprintf("v%d", i)
-	}
-	q := query.New(names...)
-	for i := 0; i+1 < nVars; i++ {
-		r := rel.New(fmt.Sprintf("R%d", i), i, i+1)
-		isKey := rng.Intn(2) == 0
-		for t := 0; t < nRows; t++ {
-			a := Value(rng.Intn(nRows))
-			b := Value(rng.Intn(5))
-			if isKey {
-				b = a % 5 // functionally determined
-			}
-			r.Add(a, b)
-		}
-		r.SortDedup()
-		j := q.AddRel(r)
-		if isKey {
-			q.FDs.AddGuarded(varset.Single(i), varset.Single(i+1), j)
-		}
-	}
-	return q
+	return scenario.RandomSimpleKeyQuery(rng, nVars, nRows)
 }
