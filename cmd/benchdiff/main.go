@@ -1,0 +1,83 @@
+// Command benchdiff compares two BENCH_*.json snapshots (written by
+// cmd/benchrecord) and prints per-benchmark ns/op and allocs/op deltas.
+// With a positive -threshold it exits non-zero when any benchmark present
+// in both snapshots regressed its ns/op by more than that fraction, so CI
+// can surface perf cliffs against the committed baseline.
+//
+// Usage: go run ./cmd/benchdiff [-threshold 0.10] OLD.json NEW.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchkit"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10,
+		"fail (exit 1) when some benchmark's ns/op regresses by more than this fraction; 0 disables gating")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldS, err := benchkit.ReadJSON(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newS, err := benchkit.ReadJSON(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldBy := map[string]benchkit.BenchResult{}
+	for _, r := range oldS.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("%-32s %14s %14s %8s   %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
+	regressed := false
+	seen := map[string]bool{}
+	for _, nr := range newS.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("%-32s %14s %14.0f %8s   %10s %10d %8s   (new)\n",
+				nr.Name, "-", nr.NsPerOp, "-", "-", nr.AllocsPerOp, "-")
+			continue
+		}
+		seen[nr.Name] = true
+		dns := ratio(nr.NsPerOp, or.NsPerOp)
+		dal := ratio(float64(nr.AllocsPerOp), float64(or.AllocsPerOp))
+		mark := ""
+		if *threshold > 0 && dns > *threshold {
+			mark = "   REGRESSED"
+			regressed = true
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%%   %10d %10d %+7.1f%%%s\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, 100*dns,
+			or.AllocsPerOp, nr.AllocsPerOp, 100*dal, mark)
+	}
+	for _, or := range oldS.Results {
+		if !seen[or.Name] {
+			fmt.Printf("%-32s %14.0f %14s %8s   %10d %10s %8s   (removed)\n",
+				or.Name, or.NsPerOp, "-", "-", or.AllocsPerOp, "-", "-")
+		}
+	}
+	if regressed {
+		fmt.Printf("\nsome benchmark regressed ns/op by more than %.0f%%\n", 100**threshold)
+		os.Exit(1)
+	}
+}
+
+// ratio returns (new-old)/old, treating a zero old measurement as no change
+// (alloc counts can legitimately be 0).
+func ratio(newV, oldV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
+}

@@ -60,3 +60,16 @@ func (s *Suite) WriteJSON(path string) error {
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
+
+// ReadJSON loads a suite snapshot written by WriteJSON.
+func ReadJSON(path string) (*Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Suite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -115,3 +115,22 @@ func TestDegreeBuckets(t *testing.T) {
 		t.Fatalf("buckets must partition the table, total %d", total)
 	}
 }
+
+// Alloc regression: the E2-shaped degree-bounded triangle must stay near
+// its flat-substrate floor once the CLLP solve and plan are memoized —
+// hundreds of allocations per run (output relations, buckets, indexes),
+// not the ~10k the map-based hash layer and per-call LP solves cost.
+func TestRunAllocRegression(t *testing.T) {
+	q := paper.DegreeTriangle(256, 8)
+	if _, _, err := Run(q, nil); err != nil { // warm plan cache + index caches
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := Run(q, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 600 {
+		t.Fatalf("CSMA allocates %v times per run, want ≤ 600", allocs)
+	}
+}

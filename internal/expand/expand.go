@@ -43,12 +43,14 @@ func (gl *guardLookup) lookup(vals []Value) ([]Value, bool) {
 
 // Expander precomputes per-FD lookup structures for fast tuple expansion.
 type Expander struct {
-	q       *query.Q
-	guards  []*guardLookup // one per guarded FD, parallel to usable FDs
-	fds     []fd.FD
-	fromIdx [][]int // per-FD From.Members(), precomputed
-	toIdx   [][]int // per-FD To.Members(), precomputed
-	argBuf  []Value // reusable UDF argument buffer
+	q        *query.Q
+	guards   []*guardLookup // one per guarded FD, parallel to usable FDs
+	fds      []fd.FD
+	fromIdx  [][]int // per-FD From.Members(), precomputed
+	toIdx    [][]int // per-FD To.Members(), precomputed
+	fns     [][]fd.UDF // per-FD UDFs aligned with toIdx (nil where absent)
+	argBuf  []Value    // reusable UDF argument buffer
+	settled []bool     // per-call scratch: FD already applied and checked
 }
 
 // New builds an Expander for the query.
@@ -58,7 +60,13 @@ func New(q *query.Q) *Expander {
 	for _, f := range q.FDs.FDs {
 		e.fds = append(e.fds, f)
 		e.fromIdx = append(e.fromIdx, f.From.Members())
-		e.toIdx = append(e.toIdx, f.To.Members())
+		toIdx := f.To.Members()
+		e.toIdx = append(e.toIdx, toIdx)
+		fns := make([]fd.UDF, len(toIdx))
+		for i, v := range toIdx {
+			fns[i] = f.Fns[v]
+		}
+		e.fns = append(e.fns, fns)
 		if f.From.Len() > maxFrom {
 			maxFrom = f.From.Len()
 		}
@@ -98,6 +106,7 @@ func New(q *query.Q) *Expander {
 		e.guards = append(e.guards, gl)
 	}
 	e.argBuf = make([]Value, maxFrom)
+	e.settled = make([]bool, len(e.fds))
 	return e
 }
 
@@ -133,16 +142,22 @@ func keyOfVals(vals []Value, vars []int) string {
 // variable id) until fixpoint. It both derives unbound variables and checks
 // consistency of bound ones. It returns the new bound set and false if the
 // tuple is inconsistent with some FD (it cannot appear in the output).
+//
+// Once an FD has fired its From values can no longer change within this
+// call, so it is marked settled and skipped on later fixpoint passes —
+// guard lookups and UDFs run at most once per FD per Extend.
 func (e *Expander) Extend(vals []Value, have varset.Set) (varset.Set, bool) {
+	settled := e.settled
+	for i := range settled {
+		settled[i] = false
+	}
 	for changed := true; changed; {
 		changed = false
-		for i, f := range e.fds {
-			if !have.ContainsAll(f.From) || have.ContainsAll(f.To) && !f.Guarded() && f.Fns == nil {
+		for i := range e.fds {
+			if settled[i] || !have.ContainsAll(e.fds[i].From) {
 				continue
 			}
-			if !have.ContainsAll(f.From) {
-				continue
-			}
+			settled[i] = true
 			if gl := e.guards[i]; gl != nil {
 				tos, ok := gl.lookup(vals)
 				if !ok {
@@ -164,15 +179,12 @@ func (e *Expander) Extend(vals []Value, have varset.Set) (varset.Set, bool) {
 				continue
 			}
 			// Unguarded: use UDFs where available.
-			if f.Fns == nil {
-				continue
-			}
 			args := e.argBuf[:0]
 			for _, v := range e.fromIdx[i] {
 				args = append(args, vals[v])
 			}
-			for _, v := range e.toIdx[i] {
-				fn := f.Fns[v]
+			for k, v := range e.toIdx[i] {
+				fn := e.fns[i][k]
 				if fn == nil {
 					continue
 				}

@@ -191,22 +191,27 @@ func M3Instance(n int) *query.Q {
 const compBase = 1 << 20 // component radix in encoded values
 
 // encodeComps packs the values of the chosen components (ascending component
-// index) into a single Value.
+// index) into a single Value. It iterates the set bits directly — UDFs call
+// this per expanded tuple, so it must not allocate.
 func encodeComps(comps varset.Set, base []Value) Value {
 	var out Value
-	for _, c := range comps.Members() {
+	for t := comps; !t.IsEmpty(); {
+		c := t.Min()
 		out = out*compBase + base[c] + 1
+		t = t.Remove(c)
 	}
 	return out
 }
 
 // decodeComps unpacks a value encoded by encodeComps back into the base
-// array positions of comps.
+// array positions of comps (descending members: the inverse packing order),
+// allocation-free like encodeComps.
 func decodeComps(comps varset.Set, v Value, base []Value) {
-	ms := comps.Members()
-	for i := len(ms) - 1; i >= 0; i-- {
-		base[ms[i]] = v%compBase - 1
+	for t := comps; !t.IsEmpty(); {
+		c := t.Max()
+		base[c] = v%compBase - 1
 		v /= compBase
+		t = t.Remove(c)
 	}
 }
 

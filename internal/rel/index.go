@@ -3,6 +3,7 @@ package rel
 import (
 	"fmt"
 	"slices"
+	"sync"
 )
 
 // Index is a sorted access path over a relation: rows ordered
@@ -22,6 +23,9 @@ type Index struct {
 	arity int
 	nkey  int   // how many leading cols correspond to the requested key vars
 	attrs []int // variable ids in priority order
+
+	trieOnce sync.Once // guards the lazy trie view (see trie.go)
+	trie     *TrieIndex
 }
 
 // IndexOn builds (or returns a cached) index whose sort priority starts with
@@ -29,16 +33,20 @@ type Index struct {
 // in their schema order. Variables in keyVars that are not attributes of r
 // are skipped.
 //
-// Indexes are cached on the relation keyed by the resolved priority
-// signature; any mutation of the relation (Add, AddTuple, SortDedup)
-// invalidates the cache. Cached indexes already handed out stay valid as
-// snapshots of the relation at build time. The cache is mutex-guarded, so
-// concurrent IndexOn calls on a frozen relation are safe (a build holds the
-// lock: racing callers wait and receive the cached index).
+// Indexes are cached on the relation keyed by the resolved priority order
+// plus key-prefix length; any mutation of the relation (Add, AddTuple,
+// SortDedup) invalidates the cache. Cached indexes already handed out stay
+// valid as snapshots of the relation at build time. The cache is
+// mutex-guarded, so concurrent IndexOn calls on a frozen relation are safe
+// (a build holds the lock: racing callers wait and receive the cached
+// index). A cache hit allocates nothing: the resolved priority lives in a
+// stack buffer compared directly against the cached indexes' attrs.
 func (r *Relation) IndexOn(keyVars ...int) *Index {
-	used := 0
-	var cols []int
-	var attrs []int
+	var colsBuf, attrsBuf [16]int
+	cols, attrs := colsBuf[:0], attrsBuf[:0]
+	if k := len(r.Attrs); k > len(colsBuf) {
+		cols, attrs = make([]int, 0, k), make([]int, 0, k)
+	}
 	for _, v := range keyVars {
 		c := r.Col(v)
 		if c < 0 || slices.Contains(attrs, v) {
@@ -48,23 +56,24 @@ func (r *Relation) IndexOn(keyVars ...int) *Index {
 		attrs = append(attrs, v)
 	}
 	nkey := len(cols)
-	used = nkey
 	for c, v := range r.Attrs {
-		if !slices.Contains(attrs[:used], v) {
+		if !slices.Contains(attrs[:nkey], v) {
 			cols = append(cols, c)
 			attrs = append(attrs, v)
 		}
 	}
-	sig := indexSig(attrs, nkey)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if ix, ok := r.cache[sig]; ok {
-		return ix
+	for _, ix := range r.cache {
+		if ix.nkey == nkey && slices.Equal(ix.attrs, attrs) {
+			return ix
+		}
 	}
 
 	k := len(r.Attrs)
 	n := r.n
-	ix := &Index{rel: r, n: n, arity: k, nkey: nkey, attrs: attrs}
+	ix := &Index{rel: r, n: n, arity: k, nkey: nkey,
+		attrs: append([]int(nil), attrs...)}
 	// Gather rows into priority-column order, then sort a permutation with
 	// direct stride compares and gather once more into sorted order.
 	flat := make([]Value, n*k)
@@ -84,21 +93,8 @@ func (r *Relation) IndexOn(keyVars ...int) *Index {
 		flat = sorted
 	}
 	ix.data = flat
-	if r.cache == nil {
-		r.cache = make(map[string]*Index, 2)
-	}
-	r.cache[sig] = ix
+	r.cache = append(r.cache, ix)
 	return ix
-}
-
-// indexSig encodes a priority order plus key-prefix length as a cache key.
-func indexSig(attrs []int, nkey int) string {
-	b := make([]byte, 0, len(attrs)+1)
-	b = append(b, byte(nkey))
-	for _, a := range attrs {
-		b = append(b, byte(a))
-	}
-	return string(b)
 }
 
 // Relation returns the indexed relation.

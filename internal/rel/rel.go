@@ -9,10 +9,14 @@
 // Storage is flat and columnar-friendly: every relation keeps its rows in a
 // single contiguous []Value with stride = arity, so row access is a cheap
 // subslice view, appends never heap-allocate per row, and scans are
-// cache-linear. Hash joins key on an inlined 64-bit mix of the join columns
-// (with an exact map[Value] fast path for single-column keys) instead of
-// materializing string keys per probe. See DESIGN.md for the full layout,
-// the hash-key scheme, and the index cache invalidation rule.
+// cache-linear. Hash joins run on a pooled open-addressing flat table
+// (flathash.go): one contiguous slot array keyed on an inlined 64-bit mix
+// of the join columns with a control-byte fingerprint per slot, and row-id
+// runs carved out of a single shared arena — no Go map, no per-key bucket
+// slice. Sorted indexes additionally expose a level-ordered trie view
+// (trie.go) with galloping range search for worst-case-optimal joins. See
+// DESIGN.md for the slot format, the probing and arena scheme, the trie
+// levels, and the index cache invalidation rule.
 //
 // Relations and indexes are not safe for concurrent mutation, but a fully
 // built relation may be shared read-only across goroutines: the index cache
@@ -45,7 +49,7 @@ type Relation struct {
 	n     int     // row count (tracked separately to support arity 0)
 
 	mu    sync.Mutex // guards cache; mutators bypass it (exclusive owner)
-	cache map[string]*Index
+	cache []*Index   // built indexes, keyed by resolved priority + nkey
 }
 
 // New creates an empty relation with the given attribute order.
@@ -314,9 +318,9 @@ const (
 
 // hashCols mixes the values of the given columns of the row at flat offset
 // base with a word-wise FNV-1a variant plus a final avalanche, so distinct
-// key tuples spread over the full 64-bit space. Collisions are possible and
-// callers verify candidates with eqCols; the single-column fast path in
-// hashTable is exact and needs no verification.
+// key tuples spread over the full 64-bit space. Collisions are possible;
+// the flat table (flathash.go) verifies every hash match against a
+// representative row with eqCols, so lookups stay exact at any key width.
 func hashCols(data []Value, base int, cols []int) uint64 {
 	h := uint64(fnvOffset64)
 	for _, c := range cols {
@@ -339,86 +343,6 @@ func eqCols(ra *Relation, i int, rb *Relation, j int, colsA, colsB []int) bool {
 		}
 	}
 	return true
-}
-
-// hashTable is a build-side hash index over the key columns of a relation.
-// With a single key column it is exact (keyed on the value itself); with
-// zero or several columns it is keyed on a 64-bit mix and probes must verify
-// candidates against genuine hash collisions.
-type hashTable struct {
-	rel    *Relation
-	cols   []int
-	single map[Value][]int32  // non-nil iff len(cols) == 1
-	multi  map[uint64][]int32 // otherwise
-}
-
-// buildHash indexes r on cols. With needRows the table retains every
-// matching row id (for joins); without it only key membership is retained
-// (one representative row per distinct key, for semijoin-style probes).
-func buildHash(r *Relation, cols []int, needRows bool) *hashTable {
-	ht := &hashTable{rel: r, cols: cols}
-	k := len(r.Attrs)
-	if len(cols) == 1 {
-		m := make(map[Value][]int32, r.n)
-		c := cols[0]
-		for i := 0; i < r.n; i++ {
-			v := r.data[i*k+c]
-			if needRows {
-				m[v] = append(m[v], int32(i))
-			} else if _, ok := m[v]; !ok {
-				m[v] = nil
-			}
-		}
-		ht.single = m
-		return ht
-	}
-	m := make(map[uint64][]int32, r.n)
-	for i := 0; i < r.n; i++ {
-		h := hashCols(r.data, i*k, cols)
-		if needRows {
-			m[h] = append(m[h], int32(i))
-			continue
-		}
-		cand := m[h]
-		dup := false
-		for _, j := range cand {
-			if eqCols(r, int(j), r, i, cols, cols) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			m[h] = append(m[h], int32(i))
-		}
-	}
-	ht.multi = m
-	return ht
-}
-
-// candidates returns the build-side rows hashing like row ip of rp (keyed on
-// pcols). On the multi path the caller must still verify with eqCols.
-func (ht *hashTable) candidates(rp *Relation, ip int, pcols []int) []int32 {
-	base := ip * len(rp.Attrs)
-	if ht.single != nil {
-		return ht.single[rp.data[base+pcols[0]]]
-	}
-	return ht.multi[hashCols(rp.data, base, pcols)]
-}
-
-// contains reports whether some build-side row matches row ip of rp exactly
-// on the key columns.
-func (ht *hashTable) contains(rp *Relation, ip int, pcols []int) bool {
-	base := ip * len(rp.Attrs)
-	if ht.single != nil {
-		_, ok := ht.single[rp.data[base+pcols[0]]]
-		return ok
-	}
-	for _, j := range ht.multi[hashCols(rp.data, base, pcols)] {
-		if eqCols(ht.rel, int(j), rp, ip, ht.cols, pcols) {
-			return true
-		}
-	}
-	return false
 }
 
 // sharedCols returns the column positions in a and b of their shared
@@ -459,10 +383,7 @@ func Join(a, b *Relation) *Relation {
 		ht := buildHash(b, cb, true)
 		for i := 0; i < a.n; i++ {
 			abase := i * ka
-			for _, bj := range ht.candidates(a, i, ca) {
-				if ht.multi != nil && !eqCols(b, int(bj), a, i, cb, ca) {
-					continue
-				}
+			for _, bj := range ht.matches(a, i, ca) {
 				out.data = append(out.data, a.data[abase:abase+ka]...)
 				bbase := int(bj) * kb
 				for _, c := range extraCols {
@@ -471,14 +392,12 @@ func Join(a, b *Relation) *Relation {
 				out.n++
 			}
 		}
+		ht.release()
 	} else {
 		ht := buildHash(a, ca, true)
 		for j := 0; j < b.n; j++ {
 			bbase := j * kb
-			for _, ai := range ht.candidates(b, j, cb) {
-				if ht.multi != nil && !eqCols(a, int(ai), b, j, ca, cb) {
-					continue
-				}
+			for _, ai := range ht.matches(b, j, cb) {
 				abase := int(ai) * ka
 				out.data = append(out.data, a.data[abase:abase+ka]...)
 				for _, c := range extraCols {
@@ -487,6 +406,7 @@ func Join(a, b *Relation) *Relation {
 				out.n++
 			}
 		}
+		ht.release()
 	}
 	return out
 }
@@ -502,6 +422,7 @@ func Semijoin(a, b *Relation) *Relation {
 			out.appendRowOf(a, i)
 		}
 	}
+	ht.release()
 	return out
 }
 
@@ -516,6 +437,7 @@ func Antijoin(a, b *Relation) *Relation {
 			out.appendRowOf(a, i)
 		}
 	}
+	ht.release()
 	return out
 }
 

@@ -1,0 +1,131 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: every trie level enumerates exactly the distinct prefixes the
+// index's DistinctNext reports, with matching child fanout, on random data.
+func TestTrieAgainstDistinctNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		r := New("R", 0, 1, 2)
+		for i := 0; i < 5+rng.Intn(200); i++ {
+			r.Add(Value(rng.Intn(5)), Value(rng.Intn(5)), Value(rng.Intn(5)))
+		}
+		ix := r.IndexOn(0, 1, 2)
+		tr := ix.Trie()
+		if tr != ix.Trie() {
+			t.Fatal("Trie must be cached")
+		}
+
+		// Level 0 vs DistinctNext(nil).
+		var want []Value
+		ix.DistinctNext(nil, func(v Value, _ int) bool {
+			want = append(want, v)
+			return true
+		})
+		lo, hi := tr.Root()
+		if int(hi-lo) != len(want) {
+			t.Fatalf("trial %d: root fanout %d, want %d", trial, hi-lo, len(want))
+		}
+		for p := lo; p < hi; p++ {
+			if tr.Val(0, p) != want[p-lo] {
+				t.Fatalf("trial %d: root val[%d] = %d, want %d", trial, p, tr.Val(0, p), want[p-lo])
+			}
+			// Children of node p vs DistinctNext under the prefix.
+			var inner []Value
+			ix.DistinctNext([]Value{tr.Val(0, p)}, func(v Value, _ int) bool {
+				inner = append(inner, v)
+				return true
+			})
+			clo, chi := tr.Children(0, p)
+			if int(chi-clo) != len(inner) || tr.Fanout(0, p) != len(inner) {
+				t.Fatalf("trial %d: fanout %d, want %d", trial, chi-clo, len(inner))
+			}
+			for c := clo; c < chi; c++ {
+				if tr.Val(1, c) != inner[c-clo] {
+					t.Fatalf("trial %d: child val mismatch", trial)
+				}
+				// Third level under (v0, v1).
+				var third []Value
+				ix.DistinctNext([]Value{tr.Val(0, p), tr.Val(1, c)}, func(v Value, _ int) bool {
+					third = append(third, v)
+					return true
+				})
+				glo, ghi := tr.Children(1, c)
+				if int(ghi-glo) != len(third) {
+					t.Fatalf("trial %d: grandchild fanout %d, want %d", trial, ghi-glo, len(third))
+				}
+			}
+		}
+	}
+}
+
+// SeekGE must agree with a linear scan from any starting cursor.
+func TestTrieSeekGE(t *testing.T) {
+	r := New("R", 0)
+	for _, v := range []Value{2, 3, 5, 5, 8, 13, 21, 21, 34} {
+		r.Add(v)
+	}
+	tr := r.IndexOn(0).Trie()
+	lo, hi := tr.Root() // distinct: 2 3 5 8 13 21 34
+	if hi-lo != 7 {
+		t.Fatalf("root size %d, want 7", hi-lo)
+	}
+	for start := lo; start <= hi; start++ {
+		for v := Value(0); v < 40; v++ {
+			want := start
+			for want < hi && tr.Val(0, want) < v {
+				want++
+			}
+			if got := tr.SeekGE(0, start, hi, v); got != want {
+				t.Fatalf("SeekGE(from=%d, v=%d) = %d, want %d", start, v, got, want)
+			}
+			wantExact := int32(-1)
+			if want < hi && tr.Val(0, want) == v {
+				wantExact = want
+			}
+			if got := tr.Seek(0, start, hi, v); got != wantExact {
+				t.Fatalf("Seek(from=%d, v=%d) = %d, want %d", start, v, got, wantExact)
+			}
+		}
+	}
+}
+
+func TestTrieZeroArityAndEmpty(t *testing.T) {
+	r := New("unit")
+	r.Add()
+	tr := r.IndexOn().Trie()
+	if tr.Levels() != 0 {
+		t.Fatalf("zero-arity trie has %d levels", tr.Levels())
+	}
+	if lo, hi := tr.Root(); lo != hi {
+		t.Fatal("zero-arity root must be empty")
+	}
+	e := New("E", 0, 1)
+	te := e.IndexOn(0).Trie()
+	if lo, hi := te.Root(); lo != hi {
+		t.Fatal("empty relation root must be empty")
+	}
+}
+
+// The trie must respect the index's priority order, not schema order.
+func TestTriePriorityOrder(t *testing.T) {
+	r := New("R", 0, 1)
+	r.Add(7, 1)
+	r.Add(8, 1)
+	r.Add(9, 2)
+	tr := r.IndexOn(1).Trie() // priority (1, 0)
+	if tr.Attr(0) != 1 || tr.Attr(1) != 0 {
+		t.Fatalf("trie attrs (%d,%d), want (1,0)", tr.Attr(0), tr.Attr(1))
+	}
+	lo, hi := tr.Root()
+	if hi-lo != 2 || tr.Val(0, lo) != 1 || tr.Val(0, lo+1) != 2 {
+		t.Fatalf("level-0 values wrong")
+	}
+	if tr.Fanout(0, lo) != 2 || tr.Fanout(0, lo+1) != 1 {
+		t.Fatalf("fanout wrong: %d, %d", tr.Fanout(0, lo), tr.Fanout(0, lo+1))
+	}
+}

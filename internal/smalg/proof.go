@@ -7,6 +7,7 @@ package smalg
 import (
 	"fmt"
 	"math/big"
+	"math/bits"
 
 	"repro/internal/bounds"
 	"repro/internal/lattice"
@@ -65,74 +66,121 @@ func (p *Proof) slotElems() []int {
 	return elems
 }
 
+// bitset is a growable dense set of small non-negative ints (label ids).
+type bitset []uint64
+
+func (b bitset) has(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+func (b *bitset) set(i int) {
+	w := i >> 6
+	for len(*b) <= w {
+		*b = append(*b, 0)
+	}
+	(*b)[w] |= 1 << (uint(i) & 63)
+}
+
+// or folds o into b, growing as needed.
+func (b *bitset) or(o bitset) {
+	for len(*b) < len(o) {
+		*b = append(*b, 0)
+	}
+	for w, bits := range o {
+		(*b)[w] |= bits
+	}
+}
+
 // IsGood runs the labelling procedure of Definition 5.26 and reports whether
 // the proof sequence is good: every SM-step has a non-empty label
 // intersection A(X,Y), and at the end every label appears in the union of
-// the label sets of 1̂-slots.
+// the label sets of 1̂-slots. Label ids are dense small integers, so label
+// sets are bitsets: the per-step intersection, the fresh-label fan-out, and
+// the final union are word-wise operations instead of map churn.
 func (p *Proof) IsGood(l *lattice.Lattice) bool {
-	labels := make([]map[int]bool, p.NumSlots)
+	labels := make([]bitset, p.NumSlots)
+	live := make([]bool, p.NumSlots)
 	for i := range p.InitElems {
-		labels[i] = map[int]bool{1: true}
+		labels[i] = bitset{1 << 1}
+		live[i] = true
 	}
 	nextLabel := 2
-	allLabels := map[int]bool{1: true}
 	elems := p.slotElems()
 
+	var A bitset
 	for _, s := range p.Steps {
 		// A(X, Y) = Labels(X) ∩ Labels(Y).
-		A := map[int]bool{}
-		for j := range labels[s.SlotX] {
-			if labels[s.SlotY][j] {
-				A[j] = true
-			}
+		lx, ly := labels[s.SlotX], labels[s.SlotY]
+		A = A[:0]
+		empty := true
+		for w := 0; w < len(lx) && w < len(ly); w++ {
+			v := lx[w] & ly[w]
+			A = append(A, v)
+			empty = empty && v == 0
 		}
-		if len(A) == 0 {
+		if empty {
 			return false
 		}
 		// Labels(X∨Y) = A.
-		joinLabels := map[int]bool{}
-		for j := range A {
-			joinLabels[j] = true
-		}
-		labels[s.SlotJoin] = joinLabels
+		labels[s.SlotJoin] = append(bitset(nil), A...)
+		live[s.SlotJoin] = true
 		// Labels(X∧Y) = fresh f(j) per j ∈ A (when the meet is not 0̂).
-		fresh := map[int]int{}
-		meetLabels := map[int]bool{}
+		// Fresh ids are assigned in ascending order of j; freshBase maps
+		// j (the i-th set bit of A) to freshBase + i.
+		var meetLabels bitset
+		freshBase := nextLabel
+		nA := 0
 		if s.Meet != l.Bottom {
-			for j := range A {
-				fresh[j] = nextLabel
-				meetLabels[nextLabel] = true
-				allLabels[nextLabel] = true
+			for _, w := range A {
+				nA += bits.OnesCount64(w)
+			}
+			for i := 0; i < nA; i++ {
+				meetLabels.set(nextLabel)
 				nextLabel++
 			}
 		}
 		labels[s.SlotMeet] = meetLabels
+		live[s.SlotMeet] = true
+		if nA == 0 {
+			continue
+		}
 		// Every OTHER slot Z (the consumed X, Y stay in the labelling
 		// multiset per Def. 5.26) gains {f(j) : j ∈ Labels(Z) ∩ A}.
 		for z := 0; z < p.NumSlots; z++ {
-			if labels[z] == nil || z == s.SlotMeet || z == s.SlotJoin {
+			if !live[z] || z == s.SlotMeet || z == s.SlotJoin {
 				continue
 			}
-			for j := range A {
-				if labels[z][j] {
-					if f, ok := fresh[j]; ok {
-						labels[z][f] = true
+			lz := &labels[z]
+			rank := 0
+			for w := 0; w < len(A); w++ {
+				aw := A[w]
+				if aw == 0 {
+					continue
+				}
+				zw := uint64(0)
+				if w < len(*lz) {
+					zw = (*lz)[w]
+				}
+				for rem := aw; rem != 0; rem &= rem - 1 {
+					if zw&rem&-rem != 0 {
+						lz.set(freshBase + rank)
 					}
+					rank++
 				}
 			}
 		}
 	}
-	// Union of labels over all slots that hold 1̂.
-	topLabels := map[int]bool{}
+	// Union of labels over all slots that hold 1̂; good iff it covers every
+	// label ever created ([1, nextLabel)).
+	var topLabels bitset
 	for i := 0; i < p.NumSlots; i++ {
-		if elems[i] == l.Top && labels[i] != nil {
-			for j := range labels[i] {
-				topLabels[j] = true
-			}
+		if elems[i] == l.Top && live[i] {
+			topLabels.or(labels[i])
 		}
 	}
-	for j := range allLabels {
-		if !topLabels[j] {
+	for j := 1; j < nextLabel; j++ {
+		if !topLabels.has(j) {
 			return false
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"strings"
 
 	"repro/internal/bounds"
 	"repro/internal/expand"
@@ -135,16 +136,39 @@ func FindProofAuto(q *query.Q, llp *bounds.LLPResult) *Proof {
 	return FindProofAny(llp, q.LogSizes(), candidates)
 }
 
+// llpProof is the memoized planning artifact of RunAuto: the LLP solution
+// and the good proof found for it (nil when the search failed — failures
+// are memoized too, so repeated RunAuto calls on an SM-infeasible instance
+// fail without re-searching).
+type llpProof struct {
+	llp   *bounds.LLPResult
+	proof *Proof
+}
+
 // RunAuto solves the LLP, searches for a good proof, and executes SMA.
 // It fails when no good SM proof exists (e.g. Fig. 9 / Example 5.31), in
-// which case CSMA is the right tool.
+// which case CSMA is the right tool. The LLP solution and proof depend
+// only on the query shape and the instance sizes, so they are memoized in
+// the query's plan cache (like bounds.BestChainBound): repeated executions
+// pay for the LP solve and the backtracking proof search once.
 func RunAuto(q *query.Q) (*rel.Relation, *Stats, error) {
-	llp := bounds.LLP(q)
-	proof := FindProofAuto(q, llp)
-	if proof == nil {
+	var key strings.Builder
+	key.WriteString("sma:proof")
+	for _, r := range q.Rels {
+		fmt.Fprintf(&key, ":%d", r.Len())
+	}
+	var lp *llpProof
+	if v, ok := q.PlanCache(key.String()); ok {
+		lp = v.(*llpProof)
+	} else {
+		llp := bounds.LLP(q)
+		lp = &llpProof{llp: llp, proof: FindProofAuto(q, llp)}
+		q.SetPlanCache(key.String(), lp)
+	}
+	if lp.proof == nil {
 		return nil, nil, fmt.Errorf("smalg: no good SM proof sequence found among optimal dual weights")
 	}
-	return Run(q, llp, proof)
+	return Run(q, lp.llp, lp.proof)
 }
 
 // SMBound returns the bound certified by a proof: Σ_j w_j n_j where w_j are

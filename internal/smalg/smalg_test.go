@@ -182,3 +182,22 @@ func TestCommonDenominator(t *testing.T) {
 		t.Fatalf("got d=%d qs=%v", d, qs)
 	}
 }
+
+// Alloc regression: the E5-shaped Fig.4 instance must stay near its
+// flat-substrate floor once the LLP solve and proof search are memoized —
+// hundreds of allocations per run, not the ~138k the map-based labelling,
+// per-call LP solves, and allocating UDF component codecs cost.
+func TestRunAutoAllocRegression(t *testing.T) {
+	q, _ := paper.Fig4Instance(64)
+	if _, _, err := RunAuto(q); err != nil { // warm plan cache + index caches
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := RunAuto(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1000 {
+		t.Fatalf("SMA allocates %v times per run, want ≤ 1000", allocs)
+	}
+}

@@ -86,6 +86,11 @@ func (s Set) Min() int {
 	return bits.TrailingZeros64(uint64(s))
 }
 
+// Max returns the largest member of s, or -1 if s is empty.
+func (s Set) Max() int {
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
 // Comparable reports whether s ⊆ t or t ⊆ s.
 func (s Set) Comparable(t Set) bool {
 	return s&^t == 0 || t&^s == 0

@@ -90,6 +90,18 @@ func TestMin(t *testing.T) {
 	}
 }
 
+func TestMax(t *testing.T) {
+	if Empty.Max() != -1 {
+		t.Fatal("Max of empty should be -1")
+	}
+	if Of(3, 9).Max() != 9 {
+		t.Fatal("Max wrong")
+	}
+	if Single(0).Max() != 0 {
+		t.Fatal("Max of {0} wrong")
+	}
+}
+
 func TestSubsetsCount(t *testing.T) {
 	s := Of(1, 4, 6)
 	n := 0

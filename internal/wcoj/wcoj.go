@@ -36,6 +36,15 @@ type Stats struct {
 // GenericJoin evaluates the query with the generic worst-case-optimal join
 // over the given global variable order. Variables contained in no relation
 // must be derivable via UDF FDs from earlier variables.
+//
+// Each relation is viewed as a level-ordered trie (rel.TrieIndex) whose
+// level order is the global order restricted to its attributes, so the
+// bound variables always form a trie path. The per-variable step is a
+// k-way intersection of the current nodes' child runs: the relation with
+// the smallest fanout seeds the candidates and the others are probed by
+// galloping search with monotone cursors (the seed enumerates ascending).
+// Descending one trie level per binding replaces the full-index binary
+// search the old implementation paid per probe per depth.
 func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 	if len(order) != q.K {
 		return nil, nil, fmt.Errorf("wcoj: order must list all %d variables", q.K)
@@ -43,47 +52,70 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 	e := expand.New(q)
 	st := &Stats{}
 
-	// Index every relation with priority = global order restricted to its
-	// attributes, so bound attributes always form an index prefix.
+	// Trie per relation, levels = global order restricted to its attrs.
 	type relIx struct {
-		r       *rel.Relation
-		ix      *rel.Index
+		trie    *rel.TrieIndex
 		attrSet varset.Set
-		pbuf    []Value // reusable prefix buffer, len = arity
+		arity   int
+		depth   int     // trie levels descended = length of the bound prefix
+		nodes   []int32 // node id per descended level
 	}
 	rixs := make([]*relIx, len(q.Rels))
+	prioBuf := make([]int, 0, q.K)
 	for j, r := range q.Rels {
-		var prio []int
+		prio := prioBuf[:0]
 		for _, v := range order {
 			if r.Col(v) >= 0 {
 				prio = append(prio, v)
 			}
 		}
-		rixs[j] = &relIx{r: r, ix: r.IndexOn(prio...), attrSet: r.VarSet(),
-			pbuf: make([]Value, r.Arity())}
+		rixs[j] = &relIx{trie: r.IndexOn(prio...).Trie(), attrSet: r.VarSet(),
+			arity: r.Arity(), nodes: make([]int32, r.Arity())}
+	}
+	nr := len(rixs)
+
+	// children returns the node range of ri's current node's children.
+	children := func(ri *relIx) (int32, int32) {
+		if ri.depth == 0 {
+			return ri.trie.Root()
+		}
+		return ri.trie.Children(ri.depth-1, ri.nodes[ri.depth-1])
 	}
 
 	outVars := q.AllVars().Members()
 	out := rel.New("Q", outVars...)
 	vals := make([]Value, q.K)
 	ntBuf := make(rel.Tuple, q.K)
-	// Per-depth scratch for saving vals around FD propagation; depth ≤ K.
-	saveStack := make([]Value, (q.K+1)*q.K)
+	// Per-recursion-depth scratch (depth ≤ K): saved trie depths around
+	// descent, and the galloping cursors of the non-seed relations during
+	// candidate intersection. vals needs no save/restore: every reader
+	// masks it through have, so entries for unbound variables are never
+	// observed and simply get overwritten on the next binding.
+	depthStack := make([]int, (q.K+1)*nr)
+	cursStack := make([]int32, (q.K+1)*nr)
 
-	// prefixFor fills ri.pbuf with the values of r's attributes bound so
-	// far, in the relation's index priority order, and returns the filled
-	// prefix. The result is only valid until the next call on the same ri.
-	prefixFor := func(ri *relIx, have varset.Set) []Value {
-		n := 0
-		for i := 0; i < ri.r.Arity(); i++ {
-			v := ri.ix.Attr(i)
-			if !have.Contains(v) {
-				break
+	// sync descends every relation's trie along newly bound variables: each
+	// level whose variable is in have must hold that variable's value. It
+	// reports false (leaving partial descents for the caller's depth
+	// restore) when some relation rules the current binding out.
+	sync := func(have varset.Set) bool {
+		for _, ri := range rixs {
+			for ri.depth < ri.arity {
+				v := ri.trie.Attr(ri.depth)
+				if !have.Contains(v) {
+					break
+				}
+				lo, hi := children(ri)
+				st.Lookups++
+				pos := ri.trie.Seek(ri.depth, lo, hi, vals[v])
+				if pos < 0 {
+					return false
+				}
+				ri.nodes[ri.depth] = pos
+				ri.depth++
 			}
-			ri.pbuf[n] = vals[v]
-			n++
 		}
-		return ri.pbuf[:n]
+		return true
 	}
 
 	var rec func(d int, have varset.Set) error
@@ -97,30 +129,24 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 		}
 		v := order[d]
 		if have.Contains(v) {
-			// Bound earlier by a UDF (footnote-1 behaviour): verify against
-			// every relation containing v whose earlier attrs are all bound.
-			for _, ri := range rixs {
-				if !ri.attrSet.Contains(v) {
-					continue
-				}
-				p := prefixFor(ri, have.Add(v))
-				st.Lookups++
-				if !ri.ix.Contains(p...) {
-					return nil
-				}
-			}
+			// Bound earlier by a UDF (footnote-1 behaviour): membership in
+			// every relation containing v was verified by the sync that
+			// followed the binding (or will be, once the relation's earlier
+			// attributes are bound too).
 			return rec(d+1, have)
 		}
-		// Pick the relation containing v with the fewest matching rows.
+		// Pick the relation containing v with the smallest fanout as the
+		// intersection seed.
 		bestJ, bestCount := -1, 0
 		for j, ri := range rixs {
 			if !ri.attrSet.Contains(v) {
 				continue
 			}
-			p := prefixFor(ri, have)
-			lo, hi := ri.ix.Range(p...)
-			if bestJ < 0 || hi-lo < bestCount {
-				bestJ, bestCount = j, hi-lo
+			// All of ri's attrs before v in its level order are bound, so
+			// its next unbound level is exactly v.
+			lo, hi := children(ri)
+			if bestJ < 0 || int(hi-lo) < bestCount {
+				bestJ, bestCount = j, int(hi-lo)
 			}
 		}
 		if bestJ < 0 {
@@ -133,39 +159,71 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 				return fmt.Errorf("wcoj: variable %s neither stored nor derivable at depth %d",
 					q.Names[v], d)
 			}
+			if !sync(have2) {
+				return nil
+			}
 			return rec(d, have2)
 		}
-		ri := rixs[bestJ]
-		p := prefixFor(ri, have)
-		var iterErr error
-		ri.ix.DistinctNext(p, func(val Value, _ int) bool {
+		seed := rixs[bestJ]
+		slo, shi := children(seed)
+		// Galloping cursors for the other relations containing v, one per
+		// relation, advancing monotonically with the ascending seed values.
+		curs := cursStack[d*nr : (d+1)*nr]
+		for j, ri := range rixs {
+			if j != bestJ && ri.attrSet.Contains(v) {
+				lo, _ := children(ri)
+				curs[j] = lo
+			}
+		}
+		depths := depthStack[d*nr : (d+1)*nr]
+		for p := slo; p < shi; p++ {
 			st.Extensions++
+			val := seed.trie.Val(seed.depth, p)
 			vals[v] = val
-			// Membership in every other relation containing v.
+			// Intersect: gallop every other relation's child run to val.
+			ok := true
 			for j, rj := range rixs {
 				if j == bestJ || !rj.attrSet.Contains(v) {
 					continue
 				}
-				pj := prefixFor(rj, have.Add(v))
+				_, hi := children(rj)
 				st.Lookups++
-				if !rj.ix.Contains(pj...) {
-					return true
+				pos := rj.trie.SeekGE(rj.depth, curs[j], hi, val)
+				curs[j] = pos
+				if pos == hi || rj.trie.Val(rj.depth, pos) != val {
+					ok = false
+					break
 				}
 			}
-			// FD propagation + consistency (LFTJ footnote-1 behaviour).
-			save := saveStack[d*q.K : (d+1)*q.K]
-			copy(save, vals)
+			if !ok {
+				continue
+			}
+			// Bind: descend the matching relations one level, then FD
+			// propagation + consistency (LFTJ footnote-1 behaviour) and a
+			// sync over whatever the FDs derived.
+			for j, ri := range rixs {
+				depths[j] = ri.depth
+			}
+			seed.nodes[seed.depth] = p
+			seed.depth++
+			for j, rj := range rixs {
+				if j == bestJ || !rj.attrSet.Contains(v) {
+					continue
+				}
+				rj.nodes[rj.depth] = curs[j]
+				rj.depth++
+			}
 			have2, ok := e.Extend(vals, have.Add(v))
-			if ok {
+			if ok && sync(have2) {
 				if err := rec(d+1, have2); err != nil {
-					iterErr = err
-					return false
+					return err
 				}
 			}
-			copy(vals, save)
-			return true
-		})
-		return iterErr
+			for j, ri := range rixs {
+				ri.depth = depths[j]
+			}
+		}
+		return nil
 	}
 	if err := rec(0, varset.Empty); err != nil {
 		return nil, st, err
