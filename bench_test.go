@@ -14,6 +14,8 @@ import (
 	"repro/internal/lattice"
 	"repro/internal/naive"
 	"repro/internal/paper"
+	"repro/internal/rel"
+	"repro/internal/scenario"
 	"repro/internal/smalg"
 	"repro/internal/varset"
 	"repro/internal/wcoj"
@@ -333,6 +335,54 @@ func BenchmarkAblationAlgorithms(b *testing.B) {
 }
 
 // Ablation: exact rational LLP solve cost as the lattice grows.
+// Limit1: streaming early termination (PR 5). On a worst/* AGM-saturating
+// product the planner runs Generic-Join, whose identity-order descent
+// streams rows natively — a LIMIT-1 consumer stops the whole execution
+// after the first successful descent, while the full run enumerates all
+// ~N^{3/2} rows. COUNT-only sits in between: full enumeration, zero
+// materialization. The acceptance bar is limit1 ≥ 10× faster than full.
+func BenchmarkLimit1(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{128, 512} {
+		q := scenario.AGMProduct(n, 1)
+		p, err := engine.Prepare(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bd, err := p.Bind(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := &engine.Options{Workers: 1}
+		b.Run("full/N="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bd.Run(ctx, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("count/N="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var c rel.CountSink
+				if _, err := bd.RunInto(ctx, opts, &c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("limit1/N="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var c rel.CountSink
+				if _, err := bd.RunInto(ctx, opts, rel.Limit(&c, 1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkAblationLLPSize(b *testing.B) {
 	q1 := paper.M3Instance(8)       // |L| = 5
 	q2 := paper.Fig1QuasiProduct(4) // |L| = 12

@@ -1,0 +1,224 @@
+// Command apicheck records and verifies the exported API surface of a
+// package — a lightweight gorelease-style guard for the public fdq
+// package: CI regenerates the symbol list from source and diffs it against
+// the checked-in api.txt, so any change to the public surface (added,
+// removed, or re-typed symbol) must be made deliberately, in the same
+// commit that updates the snapshot.
+//
+//	apicheck -dir fdq -write api.txt   # record the current surface
+//	apicheck -dir fdq -check api.txt   # exit 1 on any difference
+//
+// The listing is deterministic: one line per exported symbol (functions
+// and methods with full signatures, types, exported struct fields, consts
+// and vars), whitespace-normalized and sorted.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", "fdq", "package directory to inspect")
+	write := flag.String("write", "", "write the API listing to this file")
+	check := flag.String("check", "", "diff the API listing against this file; exit 1 on mismatch")
+	flag.Parse()
+	if (*write == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "apicheck: exactly one of -write or -check is required")
+		os.Exit(2)
+	}
+
+	lines, err := apiLines(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	listing := "# Exported API of ./" + *dir + " — regenerate with: go run ./cmd/apicheck -dir " +
+		*dir + " -write api.txt\n" + strings.Join(lines, "\n") + "\n"
+
+	if *write != "" {
+		if err := os.WriteFile(*write, []byte(listing), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("apicheck: wrote %d symbols to %s\n", len(lines), *write)
+		return
+	}
+
+	wantBytes, err := os.ReadFile(*check)
+	if err != nil {
+		fatal(err)
+	}
+	want := strings.Split(strings.TrimRight(string(wantBytes), "\n"), "\n")
+	if len(want) > 0 && strings.HasPrefix(want[0], "#") {
+		want = want[1:]
+	}
+	if diff := diffLines(want, lines); len(diff) > 0 {
+		fmt.Fprintf(os.Stderr, "apicheck: exported API of ./%s differs from %s:\n", *dir, *check)
+		for _, d := range diff {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: if the change is intentional, regenerate with: go run ./cmd/apicheck -dir %s -write %s\n", *dir, *check)
+		os.Exit(1)
+	}
+	fmt.Printf("apicheck: %d symbols match %s\n", len(lines), *check)
+}
+
+// apiLines renders one sorted line per exported symbol of the package in dir.
+func apiLines(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders the exported symbols of one top-level declaration.
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d) {
+			return nil
+		}
+		clone := *d
+		clone.Body = nil
+		clone.Doc = nil
+		return []string{render(fset, &clone)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				out = append(out, typeLines(fset, s)...)
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, name := range s.Names {
+					if !name.IsExported() {
+						continue
+					}
+					line := kw + " " + name.Name
+					if s.Type != nil {
+						line += " " + render(fset, s.Type)
+					}
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// typeLines renders an exported type: structs and interfaces become one
+// header line plus one line per exported member (unexported members stay
+// private to the diff); everything else prints its full definition.
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	if !s.Name.IsExported() {
+		return nil
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + s.Name.Name + " struct"}
+		for _, f := range t.Fields.List {
+			for _, n := range f.Names {
+				if n.IsExported() {
+					out = append(out, "field "+s.Name.Name+"."+n.Name+" "+render(fset, f.Type))
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + s.Name.Name + " interface"}
+		for _, m := range t.Methods.List {
+			for _, n := range m.Names {
+				if n.IsExported() {
+					out = append(out, "method "+s.Name.Name+"."+n.Name+render(fset, m.Type))
+				}
+			}
+		}
+		return out
+	default:
+		eq := " "
+		if s.Assign.IsValid() {
+			eq = " = "
+		}
+		return []string{"type " + s.Name.Name + eq + render(fset, s.Type)}
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (functions have no receiver and always pass).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// render prints an AST node and collapses it onto one whitespace-normalized
+// line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		fatal(err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// diffLines reports a minimal line-set difference (order-insensitive, both
+// inputs sorted).
+func diffLines(want, got []string) []string {
+	wantSet := map[string]bool{}
+	for _, w := range want {
+		wantSet[w] = true
+	}
+	gotSet := map[string]bool{}
+	for _, g := range got {
+		gotSet[g] = true
+	}
+	var out []string
+	for _, w := range want {
+		if !gotSet[w] {
+			out = append(out, "- "+w)
+		}
+	}
+	for _, g := range got {
+		if !wantSet[g] {
+			out = append(out, "+ "+g)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apicheck:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,8 @@ import (
 	"repro/internal/naive"
 	"repro/internal/paper"
 	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/scenario"
 	"repro/internal/smalg"
 	"repro/internal/wcoj"
 )
@@ -96,6 +98,26 @@ func main() {
 	bE12 := engineBound(paper.SimpleFDChain(5, 512))
 	record("engine/E12/seq/N=512", runWith(bE12, 1))
 	record("engine/E12/par4/N=512", runWith(bE12, 4))
+
+	// Streaming early termination on a worst/* AGM-saturating product:
+	// full materialization vs COUNT-only vs LIMIT-1 through the same bound
+	// instance (warm plan and index caches — the delta is pure execution).
+	bWorst := engineBound(scenario.AGMProduct(512, 1))
+	seqOpts := &engine.Options{Workers: 1}
+	record("limit/worst512/full", func() error {
+		_, _, err := bWorst.Run(ctx, seqOpts)
+		return err
+	})
+	record("limit/worst512/count", func() error {
+		var c rel.CountSink
+		_, err := bWorst.RunInto(ctx, seqOpts, &c)
+		return err
+	})
+	record("limit/worst512/limit1", func() error {
+		var c rel.CountSink
+		_, err := bWorst.RunInto(ctx, seqOpts, rel.Limit(&c, 1))
+		return err
+	})
 
 	if err := s.WriteJSON(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)

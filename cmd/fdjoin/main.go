@@ -1,13 +1,17 @@
 // Command fdjoin analyzes and evaluates join queries with functional
 // dependencies from a simple text format (see internal/query.Parse for the
 // grammar), printing every bound of the paper and running any of its
-// algorithms through the prepared-query engine.
+// algorithms through the public fdq API (catalog + session + streaming
+// rows).
 //
 // Usage:
 //
 //	fdjoin analyze <file.fdq>
-//	fdjoin run [-alg auto|chain|sm|csma|generic|binary] [-parallel N] <file.fdq>
+//	fdjoin run [-alg auto|chain|sm|csma|generic|binary] [-parallel N] [-limit N] <file.fdq>
 //	fdjoin demo                 # analyze the paper's running example
+//
+// run streams: rows print as the executor produces them, and -limit N
+// stops the execution the moment the N-th row exists.
 package main
 
 import (
@@ -16,9 +20,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
+	"repro/fdq"
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/paper"
 	"repro/internal/query"
 )
@@ -32,23 +37,34 @@ func main() {
 		if len(os.Args) != 3 {
 			usage()
 		}
-		q := load(os.Args[2])
-		analyze(q)
+		analyze(load(os.Args[2]))
 	case "run":
 		fs := flag.NewFlagSet("run", flag.ExitOnError)
 		alg := fs.String("alg", "auto", "algorithm: auto|chain|sm|csma|generic|binary")
 		par := fs.Int("parallel", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
+		limit := fs.Int("limit", 0, "stop after N rows (0 = no limit)")
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() != 1 {
 			usage()
 		}
-		q := load(fs.Arg(0))
-		run(q, core.Algorithm(*alg), *par)
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		cat, qb, err := fdq.ParseScript(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		run(cat, qb.Alg(*alg).Workers(*par).Limit(*limit))
 	case "demo":
 		q := paper.Fig1QuasiProduct(64)
 		fmt.Println("paper running example: Q :- R(x,y), S(y,z), T(z,u), xz→u, yu→x, N=64")
 		analyze(q)
-		run(q, core.AlgAuto, 0)
+		cat, qb, err := fdq.ParseScript(paper.Fig1QuasiProductScript(64))
+		if err != nil {
+			fatal(err)
+		}
+		run(cat, qb)
 	default:
 		usage()
 	}
@@ -86,30 +102,47 @@ func analyze(q *query.Q) {
 	fmt.Printf("good SM proof exists: %v\n", a.SMProofExists)
 }
 
-func run(q *query.Q, alg core.Algorithm, workers int) {
-	out, st, err := core.ExecuteOptions(context.Background(), q,
-		&engine.Options{Algorithm: alg, Workers: workers})
+// run executes the query through the public API, streaming rows as the
+// executor produces them.
+func run(cat *fdq.Catalog, qb *fdq.Q) {
+	sess := cat.Session()
+	ex, err := sess.Explain(qb)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("plan: %s (%s)\n", st.Plan.Algorithm, st.Plan.Reason)
-	if !math.IsNaN(st.Plan.LogBound) && !math.IsInf(st.Plan.LogBound, 1) {
-		fmt.Printf("predicted bound: 2^%.3f\n", st.Plan.LogBound)
+	fmt.Printf("plan: %s (%s)\n", ex.Algorithm, ex.Reason)
+	if !math.IsNaN(ex.LogBound) && !math.IsInf(ex.LogBound, 1) {
+		fmt.Printf("predicted bound: 2^%.3f\n", ex.LogBound)
 	}
-	if st.Workers > 1 {
-		fmt.Printf("executed on %d workers (partitioned on %s)\n", st.Workers, q.Names[st.PartitionVar])
+
+	start := time.Now()
+	rows, err := sess.Query(context.Background(), qb)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Printf("|Q| = %d tuples in %v\n", out.Len(), st.Duration)
-	for i := 0; i < 10 && i < out.Len(); i++ {
-		fmt.Printf("  %v\n", out.Row(i))
+	defer rows.Close()
+	shown, total := 0, 0
+	for rows.Next() {
+		total++
+		if shown < 10 {
+			fmt.Printf("  %v\n", rows.Row())
+			shown++
+		}
 	}
-	if out.Len() > 10 {
-		fmt.Printf("  ... %d more\n", out.Len()-10)
+	if err := rows.Err(); err != nil {
+		fatal(err)
+	}
+	if total > shown {
+		fmt.Printf("  ... %d more\n", total-shown)
+	}
+	fmt.Printf("|Q| = %d tuples in %v\n", total, time.Since(start))
+	if st := rows.Stats(); st != nil && st.Workers > 1 {
+		fmt.Printf("executed on %d workers (algorithm %s)\n", st.Workers, st.Algorithm)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fdjoin analyze <file.fdq> | fdjoin run [-alg A] [-parallel N] <file.fdq> | fdjoin demo")
+	fmt.Fprintln(os.Stderr, "usage: fdjoin analyze <file.fdq> | fdjoin run [-alg A] [-parallel N] [-limit N] <file.fdq> | fdjoin demo")
 	os.Exit(2)
 }
 

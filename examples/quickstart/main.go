@@ -1,58 +1,64 @@
-// Quickstart: define the triangle query, compute its AGM/GLVV bounds, and
-// evaluate it with a worst-case optimal algorithm.
+// Quickstart for the public fdq API: define the triangle query over a
+// small graph, ask the planner how it would run, stream the first few
+// rows, and count the full answer without materializing it.
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/query"
-	"repro/internal/rel"
+	"repro/fdq"
 )
 
 func main() {
 	// Q(x,y,z) :- R(x,y), S(y,z), T(z,x) over a small random-ish graph.
-	q := query.New("x", "y", "z")
-	R := rel.New("R", 0, 1)
-	S := rel.New("S", 1, 2)
-	T := rel.New("T", 2, 0)
+	cat := fdq.NewCatalog()
+	var r, s, t [][]fdq.Value
 	for i := int64(0); i < 30; i++ {
-		R.Add(i%6, (i*7)%6)
-		S.Add((i*7)%6, (i*11)%6)
-		T.Add((i*11)%6, i%6)
+		r = append(r, []fdq.Value{i % 6, (i * 7) % 6})
+		s = append(s, []fdq.Value{(i * 7) % 6, (i * 11) % 6})
+		t = append(t, []fdq.Value{(i * 11) % 6, i % 6})
 	}
-	R.SortDedup()
-	S.SortDedup()
-	T.SortDedup()
-	q.AddRel(R)
-	q.AddRel(S)
-	q.AddRel(T)
-	if err := q.Validate(); err != nil {
-		panic(err)
+	must(cat.Define("R", []string{"src", "dst"}, r))
+	must(cat.Define("S", []string{"src", "dst"}, s))
+	must(cat.Define("T", []string{"src", "dst"}, t))
+
+	sess := cat.Session()
+	ctx := context.Background()
+	triangle := func() *fdq.Q {
+		return fdq.Query().Vars("x", "y", "z").
+			Rel("R", "x", "y").Rel("S", "y", "z").Rel("T", "z", "x")
 	}
 
-	a := core.Analyze(q)
-	fmt.Printf("lattice size: %d (Boolean algebra: %v)\n", a.LatticeSize, a.BooleanAlg)
-	fmt.Printf("log2 AGM bound:   %.3f  (size bound %.1f)\n", a.LogAGM, pow2(a.LogAGM))
-	fmt.Printf("log2 GLVV bound:  %.3f  (equal to AGM without FDs)\n", a.LogLLP)
-	fmt.Printf("log2 chain bound: %.3f\n", a.LogChain)
+	// The planner's view: chosen algorithm and predicted output bound.
+	ex, err := sess.Explain(triangle())
+	must(err)
+	fmt.Printf("plan: %s — %s\n", ex.Algorithm, ex.Reason)
+	fmt.Printf("predicted log2 bound: %.3f\n", ex.LogBound)
 
-	out, st, err := core.Execute(q, core.AlgAuto)
+	// Stream the first 5 rows; the executor stops the moment the 5th row
+	// exists (LIMIT is a true prefix of the sorted answer).
+	rows, err := sess.Query(ctx, triangle().Limit(5))
+	must(err)
+	defer rows.Close()
+	for rows.Next() {
+		var x, y, z fdq.Value
+		must(rows.Scan(&x, &y, &z))
+		fmt.Printf("  triangle %d -> %d -> %d\n", x, y, z)
+	}
+	must(rows.Err())
+
+	// COUNT(*) without materializing a single tuple. The session's
+	// prepared-shape cache makes this re-run skip straight to execution.
+	n, err := sess.Count(ctx, triangle())
+	must(err)
+	fmt.Printf("|Q| = %d triangles\n", n)
+}
+
+func must(err error) {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("|Q| = %d tuples in %v (algorithm %s)\n", out.Len(), st.Duration, st.Plan.Algorithm)
-	for i := 0; i < 5 && i < out.Len(); i++ {
-		fmt.Printf("  %v\n", out.Row(i))
-	}
-}
-
-func pow2(x float64) float64 {
-	p := 1.0
-	for i := 0; i < int(x); i++ {
-		p *= 2
-	}
-	return p
 }

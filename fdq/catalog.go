@@ -1,0 +1,139 @@
+package fdq
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rel"
+)
+
+// storedRel is one immutable catalog relation: column names plus the row
+// data, stored once with positional attribute ids (0..arity-1) and bound to
+// a particular query's variables via a zero-copy view at prepare time.
+type storedRel struct {
+	cols   []string
+	master *rel.Relation // frozen: sorted, deduplicated, never mutated
+}
+
+// snapshot is one immutable catalog state. Readers that grab a snapshot
+// keep a consistent view of every relation in it for as long as they hold
+// on, however many Defines happen meanwhile.
+type snapshot struct {
+	version uint64
+	rels    map[string]*storedRel
+}
+
+// Catalog is a named-relation store with copy-on-write snapshots: Define
+// and Drop build a fresh relation map and swap it in atomically, so
+// concurrent readers — sessions binding queries, long-lived Rows iterators
+// — are never blocked by writers and never observe a half-updated state.
+// The zero value is not usable; construct with NewCatalog.
+type Catalog struct {
+	mu  sync.Mutex // serializes writers; readers go through cur only
+	cur atomic.Pointer[snapshot]
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	c := &Catalog{}
+	c.cur.Store(&snapshot{rels: map[string]*storedRel{}})
+	return c
+}
+
+// Define creates or replaces the named relation with the given column
+// names and rows (each row one value per column). The data is copied,
+// deduplicated, and sorted; subsequent mutations of rows by the caller are
+// not observed. Sessions pick the new data up on their next execution;
+// in-flight executions keep the snapshot they started with.
+func (c *Catalog) Define(name string, cols []string, rows [][]Value) error {
+	if name == "" {
+		return fmt.Errorf("fdq: relation name must be non-empty")
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		if col == "" {
+			return fmt.Errorf("fdq: relation %s: empty column name", name)
+		}
+		if seen[col] {
+			return fmt.Errorf("fdq: relation %s: duplicate column %q", name, col)
+		}
+		seen[col] = true
+	}
+	attrs := make([]int, len(cols))
+	for i := range attrs {
+		attrs[i] = i
+	}
+	master := rel.New(name, attrs...)
+	master.Grow(len(rows))
+	for _, row := range rows {
+		if len(row) != len(cols) {
+			return fmt.Errorf("fdq: relation %s: row %v has %d values, want %d", name, row, len(row), len(cols))
+		}
+		master.Add(row...)
+	}
+	master.SortDedup()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.swap(func(rels map[string]*storedRel) {
+		rels[name] = &storedRel{cols: append([]string(nil), cols...), master: master}
+	})
+	return nil
+}
+
+// Drop removes the named relation, reporting whether it existed.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cur.Load().rels[name]; !ok {
+		return false
+	}
+	c.swap(func(rels map[string]*storedRel) { delete(rels, name) })
+	return true
+}
+
+// swap clones the current relation map, applies mutate, and publishes the
+// result as a new snapshot. Callers hold c.mu.
+func (c *Catalog) swap(mutate func(map[string]*storedRel)) {
+	old := c.cur.Load()
+	rels := make(map[string]*storedRel, len(old.rels)+1)
+	for k, v := range old.rels {
+		rels[k] = v
+	}
+	mutate(rels)
+	c.cur.Store(&snapshot{version: old.version + 1, rels: rels})
+}
+
+// snap returns the current immutable snapshot.
+func (c *Catalog) snap() *snapshot { return c.cur.Load() }
+
+// Version returns the current snapshot's version, which increments on
+// every Define and Drop. Two equal versions observe identical data.
+func (c *Catalog) Version() uint64 { return c.snap().version }
+
+// Relations lists the defined relation names in sorted order.
+func (c *Catalog) Relations() []string {
+	rels := c.snap().rels
+	out := make([]string, 0, len(rels))
+	for name := range rels {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Schema returns the column names and row count of the named relation
+// (after deduplication), and whether it exists.
+func (c *Catalog) Schema(name string) (cols []string, rows int, ok bool) {
+	sr, ok := c.snap().rels[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]string(nil), sr.cols...), sr.master.Len(), true
+}
+
+// Session returns a new session over this catalog, equivalent to
+// NewSession(c).
+func (c *Catalog) Session() *Session { return NewSession(c) }

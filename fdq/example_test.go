@@ -1,0 +1,62 @@
+package fdq_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/fdq"
+)
+
+// ExampleSession_Query builds a small catalog, declares the triangle query
+// with the fluent builder, and streams the first rows of the answer.
+func ExampleSession_Query() {
+	cat := fdq.NewCatalog()
+	edges := [][]fdq.Value{{1, 2}, {2, 3}, {3, 1}, {2, 1}, {1, 3}, {3, 2}}
+	for _, name := range []string{"R", "S", "T"} {
+		if err := cat.Define(name, []string{"src", "dst"}, edges); err != nil {
+			panic(err)
+		}
+	}
+
+	sess := cat.Session()
+	q := fdq.Query().Vars("x", "y", "z").
+		Rel("R", "x", "y").Rel("S", "y", "z").Rel("T", "z", "x").
+		Limit(3) // stop the executor after three rows
+
+	rows, err := sess.Query(context.Background(), q)
+	if err != nil {
+		panic(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var x, y, z fdq.Value
+		if err := rows.Scan(&x, &y, &z); err != nil {
+			panic(err)
+		}
+		fmt.Println(x, y, z)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// 1 2 3
+	// 1 3 2
+	// 2 1 3
+}
+
+// ExampleSession_Count shows the COUNT-only execution mode: no result
+// tuple is materialized.
+func ExampleSession_Count() {
+	cat := fdq.NewCatalog()
+	edges := [][]fdq.Value{{1, 2}, {2, 3}, {3, 1}}
+	cat.Define("E", []string{"src", "dst"}, edges)
+
+	n, err := cat.Session().Count(context.Background(),
+		fdq.Query().Vars("a", "b", "c").
+			Rel("E", "a", "b").Rel("E", "b", "c").Rel("E", "c", "a"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(n)
+	// Output: 3
+}

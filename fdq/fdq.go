@@ -1,0 +1,36 @@
+// Package fdq is the public, stable API of this repository: a consumable
+// Go library for evaluating full conjunctive queries with functional
+// dependencies and degree bounds using the worst-case-optimal algorithms of
+// Abo Khamis, Ngo & Suciu, "Computing Join Queries with Functional
+// Dependencies" (PODS 2016).
+//
+// The three moving parts:
+//
+//   - Catalog holds named relations. Writers replace relations atomically
+//     behind copy-on-write snapshots, so any number of concurrent readers
+//     keep a consistent view while data is reloaded.
+//   - A query is described either with the fluent builder —
+//     fdq.Query().Vars("x", "y", "z").Rel("R", "x", "y").Rel("S", "y", "z").
+//     Rel("T", "z", "x").FD("R", "x", "y") — or parsed from the text format
+//     shared with the fdjoin CLI (ParseScript).
+//   - Session executes queries against a catalog. Each distinct query
+//     *shape* is analyzed once (FD lattice, cost-based plan) and cached in
+//     an LRU keyed by the query's signature, so re-running the same shape —
+//     even after the catalog data changed — skips straight to execution.
+//
+// Results stream. Rows (from Session.Query) is a database/sql-flavored
+// iterator over a bounded channel, so a slow consumer backpressures the
+// executor, an abandoned one (Close) stops it, and Limit-k queries stop
+// doing work the moment the k-th row exists. Session.Collect and
+// Session.Count materialize and count without the iterator machinery.
+//
+// Rows are delivered in deterministic order: attributes in variable-
+// declaration order, rows lexicographically sorted, duplicate-free —
+// identical to the fully materialized answer, which is what makes Limit a
+// true prefix rather than an arbitrary sample.
+package fdq
+
+// Value is a dictionary-encoded attribute value: fdq relations store int64
+// values; mapping application data to and from these codes is the
+// caller's concern.
+type Value = int64

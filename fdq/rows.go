@@ -1,0 +1,178 @@
+package fdq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/rel"
+)
+
+// RunStats summarizes one finished execution.
+type RunStats struct {
+	Algorithm string        // algorithm that actually ran
+	Workers   int           // goroutines that executed partitions (1 = sequential)
+	Rows      int           // rows emitted (a stopped run counts what it delivered)
+	Duration  time.Duration // wall-clock execution time
+}
+
+func runStats(st *engine.Stats) *RunStats {
+	if st == nil {
+		return nil
+	}
+	return &RunStats{
+		Algorithm: string(st.Plan.Algorithm),
+		Workers:   st.Workers,
+		Rows:      st.OutSize,
+		Duration:  st.Duration,
+	}
+}
+
+// rowsBuffer is the Rows channel capacity: enough that producer and
+// consumer overlap, small enough that an abandoned iterator wastes little
+// work before backpressure parks the executor.
+const rowsBuffer = 64
+
+// Rows is a streaming result iterator in the database/sql style:
+//
+//	rows, err := sess.Query(ctx, q)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//		var x, y Value
+//		if err := rows.Scan(&x, &y); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// The executor runs concurrently and delivers rows through a bounded
+// channel: iterating slowly backpressures it, Close stops it promptly (the
+// remaining result is never computed), and rows arrive in the
+// deterministic result order (Vars-order columns, lexicographically sorted,
+// duplicate-free). A Rows is used by one goroutine at a time.
+//
+// The iterator owns a context derived from the Query call's: Close cancels
+// it, so the stop reaches both a producer parked in a channel send AND the
+// executors' inner-loop cancellation checks — a buffering algorithm (chain,
+// CSMA, ...) that has not pushed a single row yet still aborts promptly.
+// Cancelling the caller's own context travels the same path.
+type Rows struct {
+	cols   []string
+	ch     chan rel.Tuple
+	parent context.Context    // the Query caller's ctx, to attribute errors
+	cancel context.CancelFunc // cancels the iterator-owned derived ctx
+
+	closeOnce sync.Once
+	closed    bool // Close was called (set before cancel fires)
+	cur       rel.Tuple
+	done      bool // ch closed and observed
+	err       error
+	stats     *engine.Stats
+}
+
+func newRows(cols []string, parent context.Context, cancel context.CancelFunc) *Rows {
+	return &Rows{
+		cols:   append([]string(nil), cols...),
+		ch:     make(chan rel.Tuple, rowsBuffer),
+		parent: parent,
+		cancel: cancel,
+	}
+}
+
+// run executes in the iterator's producer goroutine; err and stats are
+// published before the channel closes (Next/Close read them only after).
+// ctx is the iterator-owned derived context: its Done channel doubles as
+// the sink's stop signal, so cancellation unblocks a parked Push.
+func (r *Rows) run(ctx context.Context, b *engine.Bound, opts *engine.Options, limit int) {
+	defer close(r.ch)
+	var sink rel.Sink = &rel.ChanSink{C: r.ch, Stop: ctx.Done()}
+	if limit > 0 {
+		sink = rel.Limit(sink, limit)
+	}
+	r.stats, r.err = b.RunInto(ctx, opts, sink)
+	if r.err == nil {
+		// A cancellation can also surface as a clean sink stop (the Done
+		// channel doubles as the stop signal, and the stop path is not an
+		// error); record it so Err can report an external cancel. Close's
+		// own cancel is suppressed there.
+		r.err = ctx.Err()
+	}
+}
+
+// Next advances to the next row, reporting false when the result is
+// exhausted, the limit was reached, the iterator was closed, or execution
+// failed (check Err to distinguish).
+func (r *Rows) Next() bool {
+	row, ok := <-r.ch
+	if !ok {
+		r.cur = nil
+		r.done = true
+		r.cancel() // release the derived context on natural exhaustion
+		return false
+	}
+	r.cur = row
+	return true
+}
+
+// Columns returns the column names, in Vars order.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Row returns the current row (valid until the next Next call).
+func (r *Rows) Row() []Value { return r.cur }
+
+// Scan copies the current row into dest, one pointer per column.
+func (r *Rows) Scan(dest ...*Value) error {
+	if r.cur == nil {
+		return fmt.Errorf("fdq: Scan called without a current row")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("fdq: Scan got %d destinations for %d columns", len(dest), len(r.cur))
+	}
+	for i, d := range dest {
+		*d = r.cur[i]
+	}
+	return nil
+}
+
+// Err returns the execution error, if any. Like database/sql, it is
+// meaningful after Next returned false (or after Close); a consumer
+// stopping early — Close, or the query's Limit — is not an error, so the
+// context.Canceled produced by Close's own cancellation is suppressed
+// unless the caller's context was itself cancelled.
+func (r *Rows) Err() error {
+	if !r.done {
+		return nil
+	}
+	if r.closed && errors.Is(r.err, context.Canceled) && r.parent.Err() == nil {
+		return nil
+	}
+	return r.err
+}
+
+// Close stops the executor promptly — by cancelling the iterator's derived
+// context, which both unblocks a producer parked on the channel and trips
+// the executors' inner-loop cancellation checks — drains the channel, and
+// returns the execution error, if any (its own cancellation is not one).
+// Close is idempotent and safe after exhaustion.
+func (r *Rows) Close() error {
+	r.closeOnce.Do(func() {
+		r.closed = true
+		r.cancel()
+	})
+	for range r.ch {
+	}
+	r.done = true
+	return r.Err()
+}
+
+// Stats returns execution statistics, available once the iterator is
+// exhausted or closed (nil before, or when execution failed during
+// planning).
+func (r *Rows) Stats() *RunStats {
+	if !r.done {
+		return nil
+	}
+	return runStats(r.stats)
+}

@@ -1,0 +1,293 @@
+package fdq
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/rel"
+)
+
+// DefaultPreparedCacheSize is how many distinct query shapes a session
+// keeps prepared unless WithPreparedCacheSize overrides it.
+const DefaultPreparedCacheSize = 64
+
+// Session executes queries against one catalog. Behind each session sits
+// an LRU cache of prepared query shapes keyed by the query signature:
+// preparing a shape (FD lattice, validation, cost-based planning
+// artifacts) happens once, and re-running the same shape — from any
+// goroutine, at any later catalog version — reuses it, re-binding to the
+// newest catalog snapshot (and re-validating the declared FDs and degree
+// bounds against it) only when the catalog actually changed.
+//
+// A Session is safe for concurrent use; sessions sharing one catalog are
+// independent (each has its own cache).
+type Session struct {
+	cat *Catalog
+	cap int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // signature → element holding *cacheEntry
+	order   *list.List               // front = most recently used
+	stats   CacheStats
+}
+
+// cacheEntry is one cached shape. Its mutex serializes prepare/re-bind so
+// concurrent first uses of the same shape do the analysis once.
+type cacheEntry struct {
+	sig string
+
+	mu      sync.Mutex
+	prep    *engine.Prepared
+	version uint64
+	bound   *engine.Bound
+}
+
+// CacheStats reports the prepared-shape cache behaviour.
+type CacheStats struct {
+	Hits      int // executions that reused a cached prepared shape
+	Misses    int // executions that prepared a new shape
+	Evictions int // shapes dropped because the cache was full
+	Entries   int // shapes currently cached
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*Session)
+
+// WithPreparedCacheSize bounds the number of prepared shapes the session
+// retains (minimum 1).
+func WithPreparedCacheSize(n int) SessionOption {
+	return func(s *Session) {
+		if n >= 1 {
+			s.cap = n
+		}
+	}
+}
+
+// NewSession returns a session over the catalog.
+func NewSession(cat *Catalog, opts ...SessionOption) *Session {
+	s := &Session{cat: cat, cap: DefaultPreparedCacheSize, entries: map[string]*list.Element{}, order: list.New()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// CacheStats returns a snapshot of the prepared-shape cache counters.
+func (s *Session) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.order.Len()
+	return st
+}
+
+// entry returns (creating and evicting as needed) the cache entry for sig.
+func (s *Session) entry(sig string) *cacheEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[sig]; ok {
+		s.order.MoveToFront(el)
+		s.stats.Hits++
+		return el.Value.(*cacheEntry)
+	}
+	e := &cacheEntry{sig: sig}
+	s.entries[sig] = s.order.PushFront(e)
+	s.stats.Misses++
+	for s.order.Len() > s.cap {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.entries, back.Value.(*cacheEntry).sig)
+		s.stats.Evictions++
+	}
+	return e
+}
+
+// drop removes a cache entry that never (or no longer) holds a usable
+// prepared shape, so failing queries neither occupy LRU slots — evicting
+// warm shapes — nor read as cache hits on retry.
+func (s *Session) drop(sig string, e *cacheEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[sig]; ok && el.Value.(*cacheEntry) == e {
+		s.order.Remove(el)
+		delete(s.entries, sig)
+	}
+}
+
+// resolve turns a query description into a runnable engine binding against
+// the current catalog snapshot, preparing or re-binding as needed.
+func (s *Session) resolve(q *Q) (*engine.Bound, *engine.Options, error) {
+	if q.err != nil {
+		return nil, nil, q.err
+	}
+	opts, err := engineOptions(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	snap := s.cat.snap()
+	sig := q.signature()
+	e := s.entry(sig)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.prep != nil && e.version == snap.version {
+		return e.bound, opts, nil
+	}
+	if e.prep != nil {
+		// Same shape, newer catalog: try a plain re-bind, which keeps the
+		// shape's lattice and planning artifacts warm. Fall through to a
+		// full re-prepare if the new data no longer fits the shape.
+		if rels, rerr := q.buildRels(snap); rerr == nil {
+			if b, berr := e.prep.Bind(rels); berr == nil {
+				if verr := b.Query().Validate(); verr != nil {
+					// The shape is fine; the new instance violates its
+					// declared FDs/bounds. Keep the prepared shape but
+					// don't serve the stale binding.
+					return nil, nil, verr
+				}
+				e.version, e.bound = snap.version, b
+				return e.bound, opts, nil
+			}
+		}
+		e.prep, e.bound = nil, nil
+	}
+	prep, b, err := prepare(q, snap)
+	if err != nil {
+		s.drop(sig, e)
+		return nil, nil, err
+	}
+	e.prep, e.version, e.bound = prep, snap.version, b
+	return e.bound, opts, nil
+}
+
+// prepare builds, validates, and prepares the query against one snapshot.
+func prepare(q *Q, snap *snapshot) (*engine.Prepared, *engine.Bound, error) {
+	qq, err := q.build(snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := qq.Validate(); err != nil {
+		return nil, nil, err
+	}
+	prep, err := engine.Prepare(qq)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := prep.Bind(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prep, b, nil
+}
+
+// engineOptions maps the builder's execution options onto the engine's.
+func engineOptions(q *Q) (*engine.Options, error) {
+	alg := engine.AlgAuto
+	switch q.alg {
+	case "", "auto":
+	case "chain":
+		alg = engine.AlgChain
+	case "sm":
+		alg = engine.AlgSM
+	case "csma":
+		alg = engine.AlgCSMA
+	case "generic":
+		alg = engine.AlgGenericJoin
+	case "binary":
+		alg = engine.AlgBinary
+	default:
+		return nil, fmt.Errorf("fdq: unknown algorithm %q", q.alg)
+	}
+	return &engine.Options{Algorithm: alg, Workers: q.workers}, nil
+}
+
+// limited wraps sink with the query's Limit, if any.
+func limited(q *Q, sink rel.Sink) rel.Sink {
+	if q.limit > 0 {
+		return rel.Limit(sink, q.limit)
+	}
+	return sink
+}
+
+// Query starts executing q and returns a streaming iterator over its
+// result rows (see Rows). The iterator's channel is bounded, so a slow
+// consumer backpressures the executor; Close (or cancelling ctx) stops the
+// executor promptly. The first resolution error is returned here; errors
+// during execution surface from Rows.Err.
+func (s *Session) Query(ctx context.Context, q *Q) (*Rows, error) {
+	b, opts, err := s.resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	r := newRows(q.vars, ctx, cancel)
+	go r.run(rctx, b, opts, q.limit)
+	return r, nil
+}
+
+// Collect executes q and materializes the full (or Limit-capped) answer:
+// one []Value per row, columns in Vars order, rows lexicographically
+// sorted and duplicate-free.
+func (s *Session) Collect(ctx context.Context, q *Q) ([][]Value, error) {
+	b, opts, err := s.resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	sink := rel.NewCollect("Q", seqAttrs(len(q.vars))...)
+	if _, err := b.RunInto(ctx, opts, limited(q, sink)); err != nil {
+		return nil, err
+	}
+	out := make([][]Value, sink.R.Len())
+	for i := range out {
+		out[i] = append([]Value(nil), sink.R.Row(i)...)
+	}
+	return out, nil
+}
+
+// Count executes q and returns the number of result rows (capped by
+// Limit, if set) without materializing a single tuple.
+func (s *Session) Count(ctx context.Context, q *Q) (int, error) {
+	b, opts, err := s.resolve(q)
+	if err != nil {
+		return 0, err
+	}
+	var c rel.CountSink
+	if _, err := b.RunInto(ctx, opts, limited(q, &c)); err != nil {
+		return 0, err
+	}
+	return c.N, nil
+}
+
+// Explanation describes how a query would execute.
+type Explanation struct {
+	Algorithm string  // chosen (or forced) algorithm
+	LogBound  float64 // predicted log2 output/runtime bound; +Inf unknown, NaN for forced algorithms
+	Reason    string  // one-line planner rationale
+}
+
+// Explain resolves q against the current catalog and reports the planner's
+// decision without executing anything.
+func (s *Session) Explain(q *Q) (Explanation, error) {
+	b, opts, err := s.resolve(q)
+	if err != nil {
+		return Explanation{}, err
+	}
+	if opts.Algorithm != engine.AlgAuto {
+		return Explanation{Algorithm: string(opts.Algorithm), LogBound: math.NaN(), Reason: "explicitly requested"}, nil
+	}
+	pl := b.Plan()
+	return Explanation{Algorithm: string(pl.Algorithm), LogBound: pl.LogBound, Reason: pl.Reason}, nil
+}
+
+// seqAttrs returns 0..k-1: builder variables are declared in index order,
+// so the engine's ascending-variable output order is exactly Vars order.
+func seqAttrs(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -7,9 +7,16 @@
 // Run and RunBest are safe to call concurrently on frozen inputs: all
 // working state is per-call, input relations are only read, and the chain
 // search memo lives in the query's mutex-guarded plan cache.
+//
+// RunInto/RunBestInto are the sink-based entry points (see rel.Sink): the
+// chain's intermediate relations must materialize (step i+1 enumerates
+// per-tuple over step i), so streaming buffers until the last step and
+// then flushes the sorted result, stopping when the sink does; ctx is
+// checked at chain-step and candidate-batch boundaries.
 package chainalg
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bounds"
@@ -19,6 +26,10 @@ import (
 	"repro/internal/rel"
 	"repro/internal/varset"
 )
+
+// cancelCheckInterval is how many candidate tuples pass between context
+// checks inside a chain step's enumeration loop.
+const cancelCheckInterval = 1024
 
 // Value aliases the relational value type.
 type Value = rel.Value
@@ -34,15 +45,29 @@ type Stats struct {
 
 // Run evaluates the query along the given chain, which must be good for all
 // inputs and have no isolated step (use bounds.BestChainBound to select
-// one).
+// one). It is the legacy materialized entry point, a zero-copy wrapper
+// over RunInto.
 func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
+	sink := rel.NewCollect("Q", q.AllVars().Members()...)
+	st, err := RunInto(context.Background(), q, c, sink)
+	if err != nil {
+		return nil, st, err
+	}
+	return sink.R, st, nil
+}
+
+// RunInto is Run emitting into a sink: the final chain relation Q_k is
+// sorted and streamed, stopping early when the sink does, and ctx
+// cancellation is observed between chain steps and every few hundred
+// candidate tuples within one.
+func RunInto(ctx context.Context, q *query.Q, c lattice.Chain, sink rel.Sink) (*Stats, error) {
 	l := q.Lattice()
 	inputs := q.InputElems()
 	if !l.IsChain(c) {
-		return nil, nil, fmt.Errorf("chainalg: not a chain")
+		return nil, fmt.Errorf("chainalg: not a chain")
 	}
 	if !l.GoodForAll(c, inputs) {
-		return nil, nil, fmt.Errorf("chainalg: chain is not good for the inputs")
+		return nil, fmt.Errorf("chainalg: chain is not good for the inputs")
 	}
 	st := &Stats{Chain: c}
 	e := expand.New(q)
@@ -59,6 +84,9 @@ func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
 
 	vals := make([]Value, q.K)
 	for i := 1; i < len(c); i++ {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		ciVars := l.Elems[c[i]]
 		prevVars := l.Elems[c[i-1]]
 
@@ -97,13 +125,18 @@ func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
 			})
 		}
 		if len(covs) == 0 {
-			return nil, nil, fmt.Errorf("chainalg: step %d is an isolated vertex", i)
+			return st, fmt.Errorf("chainalg: step %d is an isolated vertex", i)
 		}
 
 		ciMembers := ciVars.Members()
 		out := rel.New(fmt.Sprintf("Q%d", i), ciMembers...)
 		nt := make(rel.Tuple, len(ciMembers))
 		for ti := 0; ti < prev.Len(); ti++ {
+			if ti%cancelCheckInterval == cancelCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					return st, err
+				}
+			}
 			t := prev.Row(ti)
 			for k, v := range prev.Attrs {
 				vals[v] = t[k]
@@ -163,15 +196,27 @@ func Run(q *query.Q, c lattice.Chain) (*rel.Relation, *Stats, error) {
 		st.Intermediate = append(st.Intermediate, out.Len())
 		prev = out
 	}
-	return prev, st, nil
+	rel.Stream(prev, sink)
+	return st, nil
 }
 
 // RunBest selects the best good chain via bounds.BestChainBound and runs the
 // algorithm on it.
 func RunBest(q *query.Q) (*rel.Relation, *Stats, error) {
+	sink := rel.NewCollect("Q", q.AllVars().Members()...)
+	st, err := RunBestInto(context.Background(), q, sink)
+	if err != nil {
+		return nil, st, err
+	}
+	return sink.R, st, nil
+}
+
+// RunBestInto selects the best good chain and runs the sink-based
+// algorithm on it.
+func RunBestInto(ctx context.Context, q *query.Q, sink rel.Sink) (*Stats, error) {
 	cb := bounds.BestChainBound(q, 64)
 	if !cb.Finite {
-		return nil, nil, fmt.Errorf("chainalg: no good chain with a finite bound")
+		return nil, fmt.Errorf("chainalg: no good chain with a finite bound")
 	}
-	return Run(q, cb.Chain)
+	return RunInto(ctx, q, cb.Chain, sink)
 }

@@ -1,18 +1,16 @@
-// Package core is the façade API of the library: one-call analysis of a
-// query with functional dependencies (every bound and lattice
-// classification the paper studies) and one-call execution with any of the
-// paper's algorithms or the FD-blind baselines.
+// Package core is the legacy internal façade, kept as a thin shim for the
+// analysis entry point and the older one-call execution style.
 //
-// Typical use:
+// Deprecated: the public, stable surface of this repository is the
+// root-level fdq package (catalog + session + streaming rows); in-module
+// callers that need execution control should use internal/engine
+// (Prepare/Bind/Run/RunInto) directly. Only Analyze — the one-call bound
+// and lattice classification used by `fdjoin analyze` and the experiments
+// — has no replacement yet and remains the supported way to get it.
 //
 //	q := query.New("x", "y", "z") ... // define relations and FDs
 //	a := core.Analyze(q)              // bounds + lattice classification
 //	out, stats, err := core.Execute(q, core.AlgAuto)
-//
-// Execution is routed through internal/engine: AlgAuto runs the cost-based
-// planner, and large instances execute in parallel. Callers that re-run one
-// query shape on many instances (or need concurrency control) should use
-// engine.Prepare/Bind/Run directly.
 package core
 
 import (
@@ -115,12 +113,17 @@ type ExecStats = engine.Stats
 // over all query variables. AlgAuto consults the cost-based planner; large
 // instances execute in parallel on every CPU. It is a thin wrapper over
 // engine.Prepare(q).Bind(nil).Run(ctx) for one-shot callers.
+//
+// Deprecated: use the public fdq package, or internal/engine directly for
+// streaming (RunInto) and prepared re-binding.
 func Execute(q *query.Q, alg Algorithm) (*rel.Relation, *ExecStats, error) {
 	return ExecuteOptions(context.Background(), q, &engine.Options{Algorithm: alg})
 }
 
 // ExecuteOptions is Execute with full engine control (workers, thresholds,
 // cancellation).
+//
+// Deprecated: use the public fdq package, or internal/engine directly.
 func ExecuteOptions(ctx context.Context, q *query.Q, opts *engine.Options) (*rel.Relation, *ExecStats, error) {
 	p, err := engine.Prepare(q)
 	if err != nil {

@@ -25,9 +25,16 @@
 // Run is safe to call concurrently on frozen inputs: all working state
 // (plan, branch states, result accumulator) is per-call, and input
 // relations are only read.
+//
+// RunInto is the sink-based entry point (see rel.Sink): the branch union
+// must materialize before the final semi-join reduction, so rows stream
+// from the last FD-filter pass — already sorted and deduplicated — and a
+// stopped sink skips the remaining filtering; ctx cancellation is observed
+// at every plan-operation and degree-bucket branch boundary.
 package csma
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -185,8 +192,19 @@ func solvePlan(q *query.Q, l *lattice.Lattice) (*cllpPlan, error) {
 	return cp, nil
 }
 
-// Run evaluates the query with CSMA.
+// Run evaluates the query with CSMA. It is the legacy materialized entry
+// point, a zero-copy wrapper over RunInto.
 func Run(q *query.Q, optsIn *Options) (*rel.Relation, *Stats, error) {
+	sink := rel.NewCollect("Q", q.AllVars().Members()...)
+	st, err := RunInto(context.Background(), q, optsIn, sink)
+	if err != nil {
+		return nil, st, err
+	}
+	return sink.R, st, nil
+}
+
+// RunInto evaluates the query with CSMA, streaming the result into sink.
+func RunInto(ctx context.Context, q *query.Q, optsIn *Options, sink rel.Sink) (*Stats, error) {
 	opts := optsIn.withDefaults()
 	l := q.Lattice()
 	e := expand.New(q)
@@ -194,7 +212,7 @@ func Run(q *query.Q, optsIn *Options) (*rel.Relation, *Stats, error) {
 
 	cp, err := solvePlan(q, l)
 	if err != nil {
-		return nil, st, err
+		return st, err
 	}
 	res, plan := cp.res, cp.plan
 	st.OPT, _ = res.LogBound.Float64()
@@ -229,6 +247,9 @@ func Run(q *query.Q, optsIn *Options) (*rel.Relation, *Stats, error) {
 
 	var exec func(plan []op, idx int, state []*rel.Relation, restarts int) error
 	exec = func(plan []op, idx int, state []*rel.Relation, restarts int) error {
+		if err := ctx.Err(); err != nil {
+			return err // phase boundary: before every plan operation
+		}
 		if idx == len(plan) {
 			top := state[l.Top]
 			if top != nil {
@@ -299,16 +320,22 @@ func Run(q *query.Q, optsIn *Options) (*rel.Relation, *Stats, error) {
 		return nil
 	}
 	if err := exec(plan, 0, initState, 0); err != nil {
-		return nil, st, err
+		return st, err
 	}
 
 	// Exact answer: semi-join reduce against every input, then FD-filter.
+	// results is sorted over ascending variable order and the semi-joins
+	// preserve that order, so the filter pass below emits rows already in
+	// the sink contract's order — it streams directly, and a stopped sink
+	// skips the remaining FD checks.
 	results.SortDedup()
 	out := results
 	for _, r := range q.Rels {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		out = rel.Semijoin(out, r)
 	}
-	filtered := rel.New("Q", out.Attrs...)
 	vals := make([]rel.Value, q.K)
 	outVarSet := out.VarSet()
 	for i := 0; i < out.Len(); i++ {
@@ -317,11 +344,12 @@ func Run(q *query.Q, optsIn *Options) (*rel.Relation, *Stats, error) {
 			vals[v] = t[c]
 		}
 		if _, ok := e.Extend(vals, outVarSet); ok {
-			filtered.AddTuple(t)
+			if !sink.Push(t) {
+				break
+			}
 		}
 	}
-	filtered.SortDedup()
-	return filtered, st, nil
+	return st, nil
 }
 
 // bucket is one degree class of a conditioned table.

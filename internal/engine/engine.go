@@ -7,10 +7,13 @@
 //	p, _ := engine.Prepare(q)           // shape analysis, done once
 //	b, _ := p.Bind(rels)                // bind an instance (nil = q's own)
 //	out, stats, _ := b.Run(ctx, nil)    // plan + execute (parallel if large)
+//	stats, _ = b.RunInto(ctx, nil, sink) // stream rows; sink can stop early
 //
-// Run is safe to call from many goroutines on the same or different Bound
-// values: the lattice, the plan cache, and the relations' index caches are
-// all mutex-guarded, and each execution keeps its own working state.
+// Run and RunInto are safe to call from many goroutines on the same or
+// different Bound values: the lattice, the plan cache, and the relations'
+// index caches are all mutex-guarded, and each execution keeps its own
+// working state. (A Sink belongs to one execution; don't share one across
+// concurrent Runs.)
 //
 // The planner (see planner.go) replaces the old try-SMA-then-CSMA "auto"
 // mode with a cost-based choice over the paper's bounds, and large
@@ -62,7 +65,7 @@ type Stats struct {
 	Workers      int // goroutines that executed partitions (1 = sequential)
 	PartitionVar int // variable whose domain was partitioned; -1 sequential
 	Duration     time.Duration
-	OutSize      int
+	OutSize      int // rows emitted (for a sink-stopped run: including the stopping push)
 }
 
 // Prepared is an analyzed query shape. It wraps the query whose lattice has
@@ -142,17 +145,39 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// Run plans and executes the bound instance. With opts nil (or Algorithm
-// AlgAuto) the cost-based planner chooses the algorithm; large instances
-// are hash-partitioned across a worker pool and the per-partition outputs
-// merged (identical to the sequential result). ctx cancellation is observed
-// at partition boundaries.
+// Run plans and executes the bound instance, materializing the full
+// result. With opts nil (or Algorithm AlgAuto) the cost-based planner
+// chooses the algorithm; large instances are hash-partitioned across a
+// worker pool and the per-partition outputs merged (identical to the
+// sequential result). It is a zero-copy wrapper over RunInto with a
+// collecting sink.
 func (b *Bound) Run(ctx context.Context, opts *Options) (*rel.Relation, *Stats, error) {
+	sink := rel.NewCollect("Q", b.q.AllVars().Members()...)
+	st, err := b.RunInto(ctx, opts, sink)
+	if err != nil {
+		return nil, st, err
+	}
+	return sink.R, st, nil
+}
+
+// RunInto plans and executes the bound instance, streaming every result
+// row into sink the moment it is final (see rel.Sink for the ordering
+// contract: ascending-variable attributes, lexicographically sorted,
+// duplicate-free — identical row for row to what Run materializes). A sink
+// that stops — a LIMIT-k wrapper, a cancelled consumer — stops the
+// executor as soon as the answer is determined; ctx cancellation is
+// observed inside every executor's inner loops and at partition
+// boundaries, and aborts with ctx's error.
+//
+// Rows are pushed from the calling goroutine on the sequential path and
+// from the merging goroutine on the parallel path — never concurrently —
+// so the sink needs no locking.
+func (b *Bound) RunInto(ctx context.Context, opts *Options, sink rel.Sink) (*Stats, error) {
 	o := opts.withDefaults()
 	start := time.Now()
 	plan, err := b.plan(o.Algorithm)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	st := &Stats{Plan: *plan, Workers: 1, PartitionVar: -1}
 
@@ -168,48 +193,74 @@ func (b *Bound) Run(ctx context.Context, opts *Options) (*rel.Relation, *Stats, 
 		// planner-chosen parallel SM path keeps its per-part fallbacks.
 		workers = 1
 	}
-	var out *rel.Relation
+	// Count emitted rows for Stats.OutSize. A CollectSink is counted by
+	// its own length rather than wrapped: wrapping would hide it from
+	// rel.Stream's adoption fast path and turn the zero-copy materialized
+	// wrappers (Run, and buffering executors generally) into full
+	// row-by-row output copies.
+	runSink, outSize := sink, (func() int)(nil)
+	if c, ok := sink.(*rel.CollectSink); ok {
+		before := c.R.Len()
+		outSize = func() int { return c.R.Len() - before }
+	} else {
+		t := &tallySink{s: sink}
+		runSink = t
+		outSize = func() int { return t.n }
+	}
 	if workers > 1 && b.q.TotalSize() >= o.MinParallelRows {
-		out, err = b.runParallel(ctx, plan, workers, st)
+		err = b.runParallelInto(ctx, plan, workers, st, runSink)
 	} else {
 		if err = ctx.Err(); err == nil {
-			out, err = runOne(b.q, plan)
+			err = runOneInto(ctx, b.q, plan, runSink)
 		}
 	}
 	if err != nil {
-		return nil, st, err
+		return st, err
 	}
 	st.Duration = time.Since(start)
-	st.OutSize = out.Len()
-	return out, st, nil
+	st.OutSize = outSize()
+	return st, nil
 }
 
-// runOne executes the planned algorithm sequentially on q, reusing the
-// planner's artifacts (chosen chain, LLP solution, SM proof) when present.
-func runOne(q *query.Q, plan *Plan) (*rel.Relation, error) {
-	var out *rel.Relation
+// tallySink counts emitted rows so Stats.OutSize stays accurate without
+// asking the caller's sink anything. The count includes the push on which
+// the sink stops the run (a LIMIT-k run reports OutSize k).
+type tallySink struct {
+	s rel.Sink
+	n int
+}
+
+func (t *tallySink) Push(row rel.Tuple) bool {
+	t.n++
+	return t.s.Push(row)
+}
+
+// runOneInto executes the planned algorithm sequentially on q, streaming
+// into sink and reusing the planner's artifacts (chosen chain, LLP
+// solution, SM proof) when present.
+func runOneInto(ctx context.Context, q *query.Q, plan *Plan, sink rel.Sink) error {
 	var err error
 	switch plan.Algorithm {
 	case AlgChain:
 		if plan.Chain != nil {
-			out, _, err = chainalg.Run(q, plan.Chain)
+			_, err = chainalg.RunInto(ctx, q, plan.Chain, sink)
 		} else {
-			out, _, err = chainalg.RunBest(q)
+			_, err = chainalg.RunBestInto(ctx, q, sink)
 		}
 	case AlgSM:
 		if plan.llp != nil && plan.proof != nil {
-			out, _, err = smalg.Run(q, plan.llp, plan.proof)
+			_, err = smalg.RunInto(ctx, q, plan.llp, plan.proof, sink)
 		} else {
-			out, _, err = smalg.RunAuto(q)
+			_, err = smalg.RunAutoInto(ctx, q, sink)
 		}
 	case AlgCSMA:
-		out, _, err = csma.Run(q, nil)
+		_, err = csma.RunInto(ctx, q, nil, sink)
 	case AlgGenericJoin:
-		out, _, err = wcoj.GenericJoin(q, wcoj.DefaultOrder(q))
+		_, err = wcoj.GenericJoinInto(ctx, q, wcoj.DefaultOrder(q), sink)
 	case AlgBinary:
-		out, _, err = wcoj.BinaryPlan(q, nil)
+		_, err = wcoj.BinaryPlanInto(ctx, q, nil, sink)
 	default:
-		return nil, fmt.Errorf("engine: unknown algorithm %q", plan.Algorithm)
+		return fmt.Errorf("engine: unknown algorithm %q", plan.Algorithm)
 	}
-	return out, err
+	return err
 }

@@ -16,9 +16,10 @@ import (
 // defaultWorkers is the pool size when Options.Workers ≤ 0.
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// runParallel executes the plan by hash-partitioning one variable's domain
-// into `workers` parts, running the planned algorithm on each part with its
-// own working state, and merging the outputs.
+// runParallelInto executes the plan by hash-partitioning one variable's
+// domain into `workers` parts, running the planned algorithm on each part
+// with its own working state, and streaming the k-way merge of the
+// per-part outputs into sink.
 //
 // Soundness: every relation containing the partition variable v is filtered
 // to the rows whose v-value hashes into the part; relations without v are
@@ -27,16 +28,23 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // sequential output). FD guards containing v stay consistent: a guard
 // lookup that fails in a part can only fail for tuples that also fail the
 // guard's own membership constraint in that part, which no output tuple of
-// the part does. The merged result is SortDedup'd, so it is byte-identical
-// to the sequential result.
-func (b *Bound) runParallel(ctx context.Context, plan *Plan, workers int, st *Stats) (*rel.Relation, error) {
+// the part does. Every executor's per-part output is sorted and
+// deduplicated, and the parts are pairwise disjoint, so the streamed merge
+// (rel.MergeSortedInto) delivers rows byte-identical to — and in the same
+// order as — the sequential execution.
+//
+// The sink can only stop the merge, not the parts: partitions must finish
+// before a globally ordered merge can start, so a LIMIT-k consumer saves
+// the merge tail but still pays for partition execution. ctx cancellation,
+// in contrast, reaches into every worker's executor inner loops.
+func (b *Bound) runParallelInto(ctx context.Context, plan *Plan, workers int, st *Stats, sink rel.Sink) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err // don't pay the partition split for a dead context
+		return err // don't pay the partition split for a dead context
 	}
 	v := choosePartitionVar(b.q, plan)
 	if v < 0 {
 		st.Workers = 1
-		return runOne(b.q, plan)
+		return runOneInto(ctx, b.q, plan, sink)
 	}
 	parts := b.partitions(v, workers)
 	st.Workers = workers
@@ -54,21 +62,17 @@ func (b *Bound) runParallel(ctx context.Context, plan *Plan, workers int, st *St
 				return
 			}
 			qp := b.q.WithFreshRels(parts[p])
-			outs[p], errs[p] = runPartition(qp, plan)
+			outs[p], errs[p] = runPartition(ctx, qp, plan)
 		}(p)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-
-	// Every executor returns its output sorted and deduplicated over the
-	// ascending variable order, and the parts are pairwise disjoint, so a
-	// k-way merge reproduces the sequential output byte-for-byte without
-	// re-sorting it.
-	return rel.MergeSorted("Q", outs), nil
+	rel.MergeSortedInto(sink, outs)
+	return nil
 }
 
 // runPartition executes the planned algorithm on one partition instance.
@@ -78,48 +82,63 @@ func (b *Bound) runParallel(ctx context.Context, plan *Plan, workers int, st *St
 // and executions that fail fall back to CSMA and finally Generic-Join,
 // which are always applicable. Explicitly requested algorithms never
 // substitute — a partition failure propagates, matching the sequential
-// path's error behaviour.
-func runPartition(qp *query.Q, plan *Plan) (*rel.Relation, error) {
+// path's error behaviour. A cancelled ctx always propagates: cancellation
+// is never "fixed" by falling back to another algorithm.
+func runPartition(ctx context.Context, qp *query.Q, plan *Plan) (*rel.Relation, error) {
+	collect := func() *rel.CollectSink {
+		return rel.NewCollect("Q", qp.AllVars().Members()...)
+	}
 	var ferr error
 	switch plan.Algorithm {
 	case AlgChain:
 		if plan.Chain != nil {
-			var out *rel.Relation
-			out, _, ferr = chainalg.Run(qp, plan.Chain)
+			c := collect()
+			_, ferr = chainalg.RunInto(ctx, qp, plan.Chain, c)
 			if ferr == nil {
-				return out, nil
+				return c.R, nil
 			}
 		} else {
 			// Explicit chain request with no planner-supplied chain: each
 			// part searches its own best good chain.
-			out, _, err := chainalg.RunBest(qp)
-			return out, err
+			c := collect()
+			_, err := chainalg.RunBestInto(ctx, qp, c)
+			return c.R, err
 		}
 	case AlgSM:
 		// Only planner-chosen SM plans reach a partition (Run forces
 		// explicit AlgSM sequential): the full-instance proof is tight for
 		// the full-instance LLP, so the partition re-plans at its own sizes
 		// and may fall back below.
-		var out *rel.Relation
-		out, _, ferr = smalg.RunAuto(qp)
+		c := collect()
+		_, ferr = smalg.RunAutoInto(ctx, qp, c)
 		if ferr == nil {
-			return out, nil
+			return c.R, nil
 		}
 	case AlgGenericJoin:
-		out, _, err := wcoj.GenericJoin(qp, wcoj.DefaultOrder(qp))
-		return out, err
+		c := collect()
+		_, err := wcoj.GenericJoinInto(ctx, qp, wcoj.DefaultOrder(qp), c)
+		return c.R, err
 	case AlgBinary:
-		out, _, err := wcoj.BinaryPlan(qp, nil)
-		return out, err
+		c := collect()
+		_, err := wcoj.BinaryPlanInto(ctx, qp, nil, c)
+		return c.R, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// AlgCSMA, plus the fallback chain for planner-chosen chain/SM plans
 	// that failed at this partition's sizes.
-	out, _, err := csma.Run(qp, nil)
+	c := collect()
+	_, err := csma.RunInto(ctx, qp, nil, c)
 	if err == nil || plan.explicit {
-		return out, err
+		return c.R, err
 	}
-	out, _, err = wcoj.GenericJoin(qp, wcoj.DefaultOrder(qp))
-	return out, err
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	c = collect()
+	_, err = wcoj.GenericJoinInto(ctx, qp, wcoj.DefaultOrder(qp), c)
+	return c.R, err
 }
 
 // choosePartitionVar picks the variable whose domain is split across the

@@ -43,11 +43,11 @@ func (gl *guardLookup) lookup(vals []Value) ([]Value, bool) {
 
 // Expander precomputes per-FD lookup structures for fast tuple expansion.
 type Expander struct {
-	q        *query.Q
-	guards   []*guardLookup // one per guarded FD, parallel to usable FDs
-	fds      []fd.FD
-	fromIdx  [][]int // per-FD From.Members(), precomputed
-	toIdx    [][]int // per-FD To.Members(), precomputed
+	q       *query.Q
+	guards  []*guardLookup // one per guarded FD, parallel to usable FDs
+	fds     []fd.FD
+	fromIdx [][]int    // per-FD From.Members(), precomputed
+	toIdx   [][]int    // per-FD To.Members(), precomputed
 	fns     [][]fd.UDF // per-FD UDFs aligned with toIdx (nil where absent)
 	argBuf  []Value    // reusable UDF argument buffer
 	settled []bool     // per-call scratch: FD already applied and checked
@@ -245,6 +245,14 @@ func (e *Expander) ExpandRelation(r *rel.Relation, target varset.Set) *rel.Relat
 	}
 	out.SortDedup()
 	return out
+}
+
+// ExpandRelationInto is ExpandRelation streaming into a sink: the expanded
+// relation is built and sorted (expansion output order is inherently
+// unordered, so it must buffer), then flushed row by row, stopping early
+// when the sink does. It reports whether the sink accepted every row.
+func (e *Expander) ExpandRelationInto(r *rel.Relation, target varset.Set, sink rel.Sink) bool {
+	return rel.Stream(e.ExpandRelation(r, target), sink)
 }
 
 // ExpandToClosure expands r to the closure of its attributes.

@@ -1,0 +1,33 @@
+package expand
+
+import (
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/rel"
+)
+
+func TestExpandRelationIntoMatchesExpandRelation(t *testing.T) {
+	q := paper.Fig1QuasiProduct(16)
+	e := New(q)
+	r := q.Rels[0] // R(x, y); closure adds u via f(x,z)? only x-determined FDs apply
+	target := q.FDs.Closure(r.VarSet())
+
+	want := e.ExpandRelation(r, target)
+	sink := rel.NewCollect("out", target.Members()...)
+	if !e.ExpandRelationInto(r, target, sink) {
+		t.Fatal("collect sink stopped the stream")
+	}
+	if !rel.Identical(want, sink.R) {
+		t.Fatalf("ExpandRelationInto differs: %d vs %d rows", sink.R.Len(), want.Len())
+	}
+
+	// A limiting sink stops the flush and reports the early stop.
+	lim := rel.Limit(rel.NewCollect("out", target.Members()...), 1)
+	if e.ExpandRelationInto(r, target, lim) {
+		t.Fatal("limited stream should report an early stop")
+	}
+	if lim.Pushed() != 1 {
+		t.Fatalf("limited stream delivered %d rows", lim.Pushed())
+	}
+}

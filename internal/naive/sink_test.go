@@ -1,0 +1,39 @@
+package naive
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/rel"
+)
+
+func TestEvaluateIntoMatchesEvaluate(t *testing.T) {
+	q := paper.Fig1QuasiProduct(16)
+	want := Evaluate(q)
+
+	sink := rel.NewCollect("Q", q.AllVars().Members()...)
+	if err := EvaluateInto(context.Background(), q, sink); err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Identical(want, sink.R) {
+		t.Fatalf("EvaluateInto differs: %d vs %d rows", sink.R.Len(), want.Len())
+	}
+
+	// Limit stops the flush mid-way with exactly the prefix delivered.
+	lim := rel.Limit(rel.NewCollect("Q", q.AllVars().Members()...), 2)
+	if err := EvaluateInto(context.Background(), q, lim); err != nil {
+		t.Fatal(err)
+	}
+	if lim.Pushed() != 2 {
+		t.Fatalf("limited flush delivered %d rows", lim.Pushed())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c rel.CountSink
+	if err := EvaluateInto(ctx, q, &c); !errors.Is(err, context.Canceled) || c.N != 0 {
+		t.Fatalf("cancelled EvaluateInto: err=%v pushed=%d", err, c.N)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"strings"
 	"time"
 
@@ -90,6 +91,7 @@ type Result struct {
 	BoundSlack     *float64 `json:"bound_slack,omitempty"`
 
 	Configs     []ConfigResult `json:"configs"`
+	Streaming   []CheckResult  `json:"streaming"`
 	Metamorphic []CheckResult  `json:"metamorphic"`
 
 	Pass     bool     `json:"pass"`
@@ -156,8 +158,86 @@ func CheckInstance(ctx context.Context, in scenario.Instance, cfgs []Config) (re
 		res.Configs = append(res.Configs, runConfig(ctx, &res, b, cfg, want))
 	}
 	res.Configs = append(res.Configs, runRebind(ctx, &res, p, q, want))
+	res.Streaming = streamingChecks(ctx, &res, b, q, want)
 	res.Metamorphic = metamorphicChecks(ctx, &res, q, want)
 	return res
+}
+
+// streamingChecks verifies the sink-based execution path against the
+// legacy materialized one: a Collect sink must reproduce the reference
+// byte-for-byte, a Limit(k) sink must deliver exactly the first k rows of
+// it (the streaming order IS the materialized order — that is the whole
+// contract), and a Count sink must agree on the cardinality. Sequential
+// and parallel flavors both run, since the parallel path streams through a
+// different code path (the k-way partition merge).
+func streamingChecks(ctx context.Context, res *Result, b *engine.Bound, q *query.Q, want *rel.Relation) []CheckResult {
+	var out []CheckResult
+	check := func(name string, f func() error) {
+		cr := CheckResult{Check: name, Status: StatusPass}
+		if err := f(); err != nil {
+			cr.Status = StatusFail
+			cr.Detail = err.Error()
+			res.fail("%s: %v", name, err)
+		}
+		out = append(out, cr)
+	}
+	for _, workers := range []int{1, 3} {
+		opts := &engine.Options{Workers: workers, MinParallelRows: 1}
+		flavor := map[int]string{1: "seq", 3: "par"}[workers]
+
+		check("stream/collect/"+flavor, func() error {
+			sink := rel.NewCollect("Q", q.AllVars().Members()...)
+			if _, err := b.RunInto(ctx, opts, sink); err != nil {
+				return err
+			}
+			if !rel.Identical(sink.R, want) {
+				return fmt.Errorf("collect sink differs from materialized reference (%d vs %d rows)",
+					sink.R.Len(), want.Len())
+			}
+			return nil
+		})
+
+		// k values are deduplicated and never exceed the reference size, so
+		// a tiny (or, defensively, empty) reference never demands more rows
+		// than exist. CheckInstance rejects empty references earlier.
+		var ks []int
+		for _, k := range []int{1, (want.Len() + 1) / 2} {
+			if k >= 1 && k <= want.Len() && !slices.Contains(ks, k) {
+				ks = append(ks, k)
+			}
+		}
+		for _, k := range ks {
+			k := k
+			check(fmt.Sprintf("stream/limit%d/%s", k, flavor), func() error {
+				inner := rel.NewCollect("Q", q.AllVars().Members()...)
+				if _, err := b.RunInto(ctx, opts, rel.Limit(inner, k)); err != nil {
+					return err
+				}
+				if inner.R.Len() != k {
+					return fmt.Errorf("limit %d delivered %d rows", k, inner.R.Len())
+				}
+				for i := 0; i < k; i++ {
+					if !slices.Equal(inner.R.Row(i), want.Row(i)) {
+						return fmt.Errorf("limit %d row %d = %v is not the reference prefix row %v",
+							k, i, inner.R.Row(i), want.Row(i))
+					}
+				}
+				return nil
+			})
+		}
+
+		check("stream/count/"+flavor, func() error {
+			var c rel.CountSink
+			if _, err := b.RunInto(ctx, opts, &c); err != nil {
+				return err
+			}
+			if c.N != want.Len() {
+				return fmt.Errorf("count sink saw %d rows, reference has %d", c.N, want.Len())
+			}
+			return nil
+		})
+	}
+	return out
 }
 
 // runConfig executes one configuration and compares against the reference.

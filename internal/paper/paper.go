@@ -22,6 +22,9 @@
 package paper
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/fd"
 	"repro/internal/query"
 	"repro/internal/rel"
@@ -145,6 +148,26 @@ func Fig1QuasiProduct(n int) *query.Q {
 		}
 	}
 	return q
+}
+
+// Fig1QuasiProductScript renders the Fig1QuasiProduct instance in the
+// .fdq text format (query.Parse / fdq.ParseScript): the Example 5.5 UDFs
+// f(x,z) = x and g(y,u) = u are exactly the builtins "first" and "last"
+// (UDF arguments arrive in ascending variable order), so the scripted
+// query evaluates identically to the hand-built one.
+func Fig1QuasiProductScript(n int) string {
+	var b strings.Builder
+	b.WriteString("vars x y z u\nrel R(x, y)\nrel S(y, z)\nrel T(z, u)\n")
+	b.WriteString("fd x z -> u via first\nfd y u -> x via last\n")
+	m := isqrt(n)
+	for _, name := range []string{"R", "S", "T"} {
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= m; j++ {
+				fmt.Fprintf(&b, "row %s %d %d\n", name, i, j)
+			}
+		}
+	}
+	return b.String()
 }
 
 // ---------------------------------------------------------------------------

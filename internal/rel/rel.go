@@ -45,8 +45,8 @@ type Relation struct {
 	Name  string
 	Attrs []int // variable ids; column i holds the value of variable Attrs[i]
 
-	data  []Value // flat row storage, stride = len(Attrs)
-	n     int     // row count (tracked separately to support arity 0)
+	data []Value // flat row storage, stride = len(Attrs)
+	n    int     // row count (tracked separately to support arity 0)
 
 	mu    sync.Mutex // guards cache; mutators bypass it (exclusive owner)
 	cache []*Index   // built indexes, keyed by resolved priority + nkey
@@ -193,6 +193,22 @@ func (r *Relation) Value(i int, v int) Value {
 		panic(fmt.Sprintf("rel: relation %s has no attribute %d", r.Name, v))
 	}
 	return r.data[i*len(r.Attrs)+c]
+}
+
+// WithAttrs returns a view of r under a different name and attribute-id
+// assignment (same arity, storage shared, fresh index cache). This is how a
+// catalog relation — stored once with positional attribute ids — is bound
+// to the variables of a particular query without copying its rows. Neither
+// the view nor the original may be mutated afterwards: they alias the same
+// flat storage.
+func (r *Relation) WithAttrs(name string, attrs ...int) *Relation {
+	if len(attrs) != len(r.Attrs) {
+		panic(fmt.Sprintf("rel: WithAttrs arity mismatch for %s: got %d want %d", name, len(attrs), len(r.Attrs)))
+	}
+	v := New(name, attrs...) // validates attr uniqueness
+	v.data = r.data
+	v.n = r.n
+	return v
 }
 
 // Clone deep-copies the relation.

@@ -2,9 +2,16 @@
 // Sec. 5.2) and the good-proof search it needs. Run and RunAuto are safe to
 // call concurrently on frozen inputs (working state is per-call; input
 // relations are only read).
+//
+// RunInto/RunAutoInto are the sink-based entry points (see rel.Sink): the
+// SM-join tables must materialize step by step, so rows stream from the
+// final FD-filter pass — already sorted and deduplicated — and a stopped
+// sink skips the remaining filtering; ctx cancellation is observed at
+// every proof-step boundary.
 package smalg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -27,8 +34,19 @@ type Stats struct {
 // Run executes the SM Algorithm (Algorithm 2) for the query using the given
 // good proof sequence and the optimal LLP solution h* that the proof is
 // tight for. The result is exactly Q^D (the final semi-join reduction
-// filters the union of the T(1̂) tables against every input and FD).
+// filters the union of the T(1̂) tables against every input and FD). It is
+// the legacy materialized entry point, a zero-copy wrapper over RunInto.
 func Run(q *query.Q, llp *bounds.LLPResult, proof *Proof) (*rel.Relation, *Stats, error) {
+	sink := rel.NewCollect("Q", q.AllVars().Members()...)
+	st, err := RunInto(context.Background(), q, llp, proof, sink)
+	if err != nil {
+		return nil, st, err
+	}
+	return sink.R, st, nil
+}
+
+// RunInto executes the SM Algorithm streaming the result into sink.
+func RunInto(ctx context.Context, q *query.Q, llp *bounds.LLPResult, proof *Proof, sink rel.Sink) (*Stats, error) {
 	l := llp.Lat
 	e := expand.New(q)
 	st := &Stats{Proof: proof}
@@ -46,9 +64,12 @@ func Run(q *query.Q, llp *bounds.LLPResult, proof *Proof) (*rel.Relation, *Stats
 
 	const eps = 1e-9
 	for _, s := range proof.Steps {
+		if err := ctx.Err(); err != nil {
+			return st, err // phase boundary: before every SM proof step
+		}
 		tx, ty := tables[s.SlotX], tables[s.SlotY]
 		if tx == nil || ty == nil {
-			return nil, nil, fmt.Errorf("smalg: step consumes a dead slot")
+			return st, fmt.Errorf("smalg: step consumes a dead slot")
 		}
 		zVars := l.Elems[s.Meet]
 		threshold := hFloat[s.Y] - hFloat[s.Meet]
@@ -100,13 +121,18 @@ func Run(q *query.Q, llp *bounds.LLPResult, proof *Proof) (*rel.Relation, *Stats
 		}
 	}
 	if out == nil {
-		return rel.New("Q", q.AllVars().Members()...), st, nil
+		return st, nil
 	}
 	for _, r := range q.Rels {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		out = rel.Semijoin(out, r)
 	}
 	// Final FD-consistency filter (covers UDF FDs not witnessed by inputs).
-	filtered := rel.New("Q", out.Attrs...)
+	// out is sorted over ascending variable order (union/expansion output)
+	// and the semi-joins preserve that, so the filter streams directly in
+	// the sink contract's order; a stopped sink skips the remaining checks.
 	vals := make([]rel.Value, q.K)
 	outVarSet := out.VarSet()
 	for i := 0; i < out.Len(); i++ {
@@ -115,11 +141,12 @@ func Run(q *query.Q, llp *bounds.LLPResult, proof *Proof) (*rel.Relation, *Stats
 			vals[v] = t[c]
 		}
 		if _, ok := e.Extend(vals, outVarSet); ok {
-			filtered.AddTuple(t)
+			if !sink.Push(t) {
+				break
+			}
 		}
 	}
-	filtered.SortDedup()
-	return filtered, st, nil
+	return st, nil
 }
 
 // FindProofAuto searches for a good SM proof for the given optimal LLP
@@ -152,6 +179,16 @@ type llpProof struct {
 // the query's plan cache (like bounds.BestChainBound): repeated executions
 // pay for the LP solve and the backtracking proof search once.
 func RunAuto(q *query.Q) (*rel.Relation, *Stats, error) {
+	sink := rel.NewCollect("Q", q.AllVars().Members()...)
+	st, err := RunAutoInto(context.Background(), q, sink)
+	if err != nil {
+		return nil, st, err
+	}
+	return sink.R, st, nil
+}
+
+// RunAutoInto is RunAuto streaming into a sink.
+func RunAutoInto(ctx context.Context, q *query.Q, sink rel.Sink) (*Stats, error) {
 	var key strings.Builder
 	key.WriteString("sma:proof")
 	for _, r := range q.Rels {
@@ -166,9 +203,9 @@ func RunAuto(q *query.Q) (*rel.Relation, *Stats, error) {
 		q.SetPlanCache(key.String(), lp)
 	}
 	if lp.proof == nil {
-		return nil, nil, fmt.Errorf("smalg: no good SM proof sequence found among optimal dual weights")
+		return nil, fmt.Errorf("smalg: no good SM proof sequence found among optimal dual weights")
 	}
-	return Run(q, lp.llp, lp.proof)
+	return RunInto(ctx, q, lp.llp, lp.proof, sink)
 }
 
 // SMBound returns the bound certified by a proof: Σ_j w_j n_j where w_j are

@@ -12,9 +12,20 @@
 // Both entry points are safe to call concurrently on frozen inputs: all
 // working state is per-call, and input relations are only read (their index
 // caches are mutex-guarded).
+//
+// Execution is sink-based (see rel.Sink): GenericJoinInto and
+// BinaryPlanInto emit rows into a sink in the final output order and stop
+// the moment the sink does. GenericJoin with the identity variable order —
+// the default for FD-light queries — streams natively during the trie
+// descent, so a LIMIT-1 consumer pays only for the first successful
+// descent; other orders (and the binary plan) buffer, sort, and flush.
+// GenericJoin/BinaryPlan keep the legacy materialized signatures as
+// zero-copy wrappers.
 package wcoj
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/expand"
@@ -26,6 +37,15 @@ import (
 // Value aliases the relational value type.
 type Value = rel.Value
 
+// errStop is the internal signal that the sink stopped the producer; it
+// never escapes the package.
+var errStop = errors.New("wcoj: sink stopped execution")
+
+// cancelCheckInterval is how many recursion steps pass between context
+// checks in the descent loops — frequent enough that cancellation is
+// prompt, rare enough that ctx.Err()'s mutex never shows in profiles.
+const cancelCheckInterval = 256
+
 // Stats reports the work done by an execution, to make intermediate-size
 // blowups observable in experiments.
 type Stats struct {
@@ -35,7 +55,45 @@ type Stats struct {
 
 // GenericJoin evaluates the query with the generic worst-case-optimal join
 // over the given global variable order. Variables contained in no relation
-// must be derivable via UDF FDs from earlier variables.
+// must be derivable via UDF FDs from earlier variables. It is the legacy
+// materialized entry point, a zero-copy wrapper over GenericJoinInto.
+func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
+	c := rel.NewCollect("Q", q.AllVars().Members()...)
+	st, err := GenericJoinInto(context.Background(), q, order, c)
+	if err != nil {
+		return nil, st, err
+	}
+	return c.R, st, nil
+}
+
+// identityOrder reports whether order is 0, 1, 2, ... — the case in which
+// the descent below enumerates output rows in exactly the final output
+// order (ascending-variable attributes, lexicographically sorted).
+//
+// Why: at depth d the recursion either iterates variable d's candidates in
+// ascending trie order, or skips it because an FD already derived it — and
+// a derived variable's value is a function of the variables bound before
+// it, all of which have positions < d under the identity order. So the
+// first position at which two emitted rows differ is always an iterated
+// position, iterated ascending, and no complete assignment repeats: the
+// emission is sorted and duplicate-free by construction.
+func identityOrder(order []int) bool {
+	for i, v := range order {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// GenericJoinInto evaluates the query with the generic worst-case-optimal
+// join, emitting result rows into sink (see rel.Sink for the ordering
+// contract). Under the identity variable order rows stream natively during
+// the trie descent — the sink sees the first row after the first
+// successful descent, and stopping the sink abandons the rest of the
+// search. Any other order buffers, sorts, deduplicates, and then streams.
+// ctx is checked every few hundred descent steps; cancellation aborts with
+// ctx's error.
 //
 // Each relation is viewed as a level-ordered trie (rel.TrieIndex) whose
 // level order is the global order restricted to its attributes, so the
@@ -45,9 +103,25 @@ type Stats struct {
 // galloping search with monotone cursors (the seed enumerates ascending).
 // Descending one trie level per binding replaces the full-index binary
 // search the old implementation paid per probe per depth.
-func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
+func GenericJoinInto(ctx context.Context, q *query.Q, order []int, sink rel.Sink) (*Stats, error) {
+	if !identityOrder(order) {
+		buf := rel.NewCollect("Q", q.AllVars().Members()...)
+		st, err := genericJoin(ctx, q, order, buf)
+		if err != nil {
+			return st, err
+		}
+		buf.R.SortDedup()
+		rel.Stream(buf.R, sink)
+		return st, nil
+	}
+	return genericJoin(ctx, q, order, sink)
+}
+
+// genericJoin is the descent shared by both entry modes; it pushes rows
+// into sink as they are found, in depth-first enumeration order.
+func genericJoin(ctx context.Context, q *query.Q, order []int, sink rel.Sink) (*Stats, error) {
 	if len(order) != q.K {
-		return nil, nil, fmt.Errorf("wcoj: order must list all %d variables", q.K)
+		return nil, fmt.Errorf("wcoj: order must list all %d variables", q.K)
 	}
 	e := expand.New(q)
 	st := &Stats{}
@@ -83,9 +157,9 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 	}
 
 	outVars := q.AllVars().Members()
-	out := rel.New("Q", outVars...)
 	vals := make([]Value, q.K)
 	ntBuf := make(rel.Tuple, q.K)
+	ticks := 0
 	// Per-recursion-depth scratch (depth ≤ K): saved trie depths around
 	// descent, and the galloping cursors of the non-seed relations during
 	// candidate intersection. vals needs no save/restore: every reader
@@ -120,11 +194,20 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 
 	var rec func(d int, have varset.Set) error
 	rec = func(d int, have varset.Set) error {
+		// &-mask instead of %, and == 1 so the very first descent step
+		// already observes a dead context (interval is a power of two).
+		if ticks++; ticks&(cancelCheckInterval-1) == 1 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if d == q.K {
 			for i, v := range outVars {
 				ntBuf[i] = vals[v]
 			}
-			out.AddTuple(ntBuf)
+			if !sink.Push(ntBuf) {
+				return errStop
+			}
 			return nil
 		}
 		v := order[d]
@@ -226,10 +309,12 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 		return nil
 	}
 	if err := rec(0, varset.Empty); err != nil {
-		return nil, st, err
+		if errors.Is(err, errStop) {
+			return st, nil // the sink stopped us: a consumer decision, not an error
+		}
+		return st, err
 	}
-	out.SortDedup()
-	return out, st, nil
+	return st, nil
 }
 
 // BinaryPlan evaluates the query with a left-deep hash-join plan in the
@@ -237,14 +322,33 @@ func GenericJoin(q *query.Q, order []int) (*rel.Relation, *Stats, error) {
 // "traditional query plan" baseline of the introduction. A nil order means
 // the greedy order: start from the smallest relation and repeatedly join
 // the smallest relation sharing a variable with the accumulated set, so
-// connected join graphs never cross-product.
+// connected join graphs never cross-product. It is the legacy materialized
+// entry point, a zero-copy wrapper over BinaryPlanInto.
 func BinaryPlan(q *query.Q, relOrder []int) (*rel.Relation, *Stats, error) {
+	c := rel.NewCollect("Q", q.AllVars().Members()...)
+	st, err := BinaryPlanInto(context.Background(), q, relOrder, c)
+	if err != nil {
+		return nil, st, err
+	}
+	return c.R, st, nil
+}
+
+// BinaryPlanInto is BinaryPlan emitting into a sink. Hash joins must
+// materialize their intermediates, so the win over the legacy path is at
+// the edges: ctx is checked between joins (a cancelled query stops before
+// the next — potentially quadratic — intermediate is built), and the final
+// expand-and-filter pass streams the sorted result, stopping early when
+// the sink does.
+func BinaryPlanInto(ctx context.Context, q *query.Q, relOrder []int, sink rel.Sink) (*Stats, error) {
 	if len(relOrder) == 0 {
 		relOrder = greedyOrder(q)
 	}
 	st := &Stats{}
 	var acc *rel.Relation
 	for _, j := range relOrder {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		if acc == nil {
 			acc = q.Rels[j].Clone()
 		} else {
@@ -253,27 +357,8 @@ func BinaryPlan(q *query.Q, relOrder []int) (*rel.Relation, *Stats, error) {
 		st.Extensions += acc.Len()
 	}
 	e := expand.New(q)
-	target := q.AllVars()
-	targetVars := target.Members()
-	out := rel.New("Q", targetVars...)
-	vals := make([]Value, q.K)
-	nt := make(rel.Tuple, q.K)
-	accVars := acc.VarSet()
-	for i := 0; i < acc.Len(); i++ {
-		t := acc.Row(i)
-		for c, v := range acc.Attrs {
-			vals[v] = t[c]
-		}
-		if _, ok := e.ExpandTuple(vals, accVars, target); !ok {
-			continue
-		}
-		for c, v := range targetVars {
-			nt[c] = vals[v]
-		}
-		out.AddTuple(nt)
-	}
-	out.SortDedup()
-	return out, st, nil
+	e.ExpandRelationInto(acc, q.AllVars(), sink)
+	return st, nil
 }
 
 // greedyOrder picks a left-deep join order: smallest relation first, then
