@@ -6,9 +6,16 @@
 //
 //	conformance -tier small                    # CI tier, report to stdout
 //	conformance -tier full -stable -out CONFORMANCE.json
+//	conformance -tier small -faults            # fault-injection matrix
 //
 // -stable zeroes all wall-clock timings so a regenerated report diffs
 // cleanly against the committed evidence.
+//
+// -faults switches to the fault-injection oracle: every scenario re-runs
+// with panics and delays forced at the canonical injection sites (see
+// internal/faultinject), asserting typed errors, no goroutine leaks, and
+// byte-identical results on the next clean run, plus the fdq session-level
+// cache-eviction site.
 package main
 
 import (
@@ -45,7 +52,13 @@ type Report struct {
 	MeanSlack       *float64 `json:"mean_slack_log2,omitempty"`
 
 	Millis  float64         `json:"millis"`
-	Results []oracle.Result `json:"results"`
+	Results []oracle.Result `json:"results,omitempty"`
+
+	// Fault-injection mode (-faults) summary: cells are (site, mode) pairs.
+	FaultCells  int                  `json:"fault_cells,omitempty"`
+	FaultPasses int                  `json:"fault_passes,omitempty"`
+	FaultSkips  int                  `json:"fault_skips,omitempty"`
+	Faults      []oracle.FaultResult `json:"faults,omitempty"`
 }
 
 func main() {
@@ -53,12 +66,18 @@ func main() {
 	outFlag := flag.String("out", "-", "report path, - for stdout")
 	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
 	stable := flag.Bool("stable", false, "zero all timings for a diff-stable committed report")
+	faults := flag.Bool("faults", false, "run the fault-injection matrix instead of the standard one")
 	flag.Parse()
 
 	tier, err := scenario.ParseTier(*tierFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *faults {
+		runFaults(tier, *tierFlag, *outFlag, *verbose, *stable)
+		return
 	}
 
 	start := time.Now()
@@ -141,6 +160,72 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "conformance: %d scenarios, %d passed, %d failed, %d config runs (%d skips), %d bounds certified\n",
 		rep.Scenarios, rep.Passed, rep.Failed, rep.ConfigRuns, rep.ConfigSkips, rep.BoundsCertified)
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runFaults drives the fault-injection oracle over the tier's scenarios
+// plus the fdq session-level harness, writes the report, and exits
+// non-zero on any failure.
+func runFaults(tier scenario.Tier, tierName, outPath string, verbose, stable bool) {
+	start := time.Now()
+	rep := Report{Tier: tierName}
+	record := func(res oracle.FaultResult) {
+		rep.Scenarios++
+		if res.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+		for _, c := range res.Checks {
+			rep.FaultCells++
+			switch c.Status {
+			case oracle.StatusPass:
+				rep.FaultPasses++
+			case oracle.StatusSkip:
+				rep.FaultSkips++
+			}
+		}
+		rep.Faults = append(rep.Faults, res)
+		if verbose {
+			status := "ok"
+			if !res.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "%-4s %-40s %d cells %.0fms\n", status, res.Scenario, len(res.Checks), res.Millis)
+			for _, f := range res.Failures {
+				fmt.Fprintf(os.Stderr, "     %s\n", f)
+			}
+		}
+	}
+	for _, in := range scenario.Instances(tier) {
+		record(oracle.CheckFaultInstance(context.Background(), in))
+	}
+	record(oracle.CheckSessionFaults(context.Background()))
+	rep.Millis = float64(time.Since(start).Microseconds()) / 1000
+	if stable {
+		rep.Millis = 0
+		for i := range rep.Faults {
+			rep.Faults[i].Millis = 0
+		}
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if outPath == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "conformance -faults: %d scenarios, %d passed, %d failed, %d cells (%d skips)\n",
+		rep.Scenarios, rep.Passed, rep.Failed, rep.FaultCells, rep.FaultSkips)
 	if rep.Failed > 0 {
 		os.Exit(1)
 	}

@@ -7,15 +7,19 @@
 // Usage:
 //
 //	fdjoin analyze <file.fdq>
-//	fdjoin run [-alg auto|chain|sm|csma|generic|binary] [-parallel N] [-limit N] <file.fdq>
+//	fdjoin run [-alg auto|chain|sm|csma|generic|binary] [-parallel N] [-limit N]
+//	           [-timeout D] [-max-bound B] <file.fdq>
 //	fdjoin demo                 # analyze the paper's running example
 //
 // run streams: rows print as the executor produces them, and -limit N
-// stops the execution the moment the N-th row exists.
+// stops the execution the moment the N-th row exists. -timeout and
+// -max-bound attach a resource governor: the query aborts after D, and is
+// refused outright when its certified log2 output bound exceeds B.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -43,6 +47,8 @@ func main() {
 		alg := fs.String("alg", "auto", "algorithm: auto|chain|sm|csma|generic|binary")
 		par := fs.Int("parallel", 0, "worker pool size (0 = one per CPU, 1 = sequential)")
 		limit := fs.Int("limit", 0, "stop after N rows (0 = no limit)")
+		timeout := fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
+		maxBound := fs.Float64("max-bound", math.Inf(1), "refuse queries whose certified log2 output bound exceeds this")
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() != 1 {
 			usage()
@@ -55,7 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		run(cat, qb.Alg(*alg).Workers(*par).Limit(*limit))
+		run(cat, qb.Alg(*alg).Workers(*par).Limit(*limit), governor(*timeout, *maxBound))
 	case "demo":
 		q := paper.Fig1QuasiProduct(64)
 		fmt.Println("paper running example: Q :- R(x,y), S(y,z), T(z,u), xz→u, yu→x, N=64")
@@ -64,7 +70,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		run(cat, qb)
+		run(cat, qb, nil)
 	default:
 		usage()
 	}
@@ -102,10 +108,30 @@ func analyze(q *query.Q) {
 	fmt.Printf("good SM proof exists: %v\n", a.SMProofExists)
 }
 
+// governor maps the run flags onto an fdq.Governor, or nil when neither
+// control is requested.
+func governor(timeout time.Duration, maxBound float64) *fdq.Governor {
+	var opts []fdq.GovernorOption
+	if timeout > 0 {
+		opts = append(opts, fdq.WithQueryTimeout(timeout))
+	}
+	if !math.IsInf(maxBound, 1) {
+		opts = append(opts, fdq.WithMaxLogBound(maxBound))
+	}
+	if len(opts) == 0 {
+		return nil
+	}
+	return fdq.NewGovernor(opts...)
+}
+
 // run executes the query through the public API, streaming rows as the
-// executor produces them.
-func run(cat *fdq.Catalog, qb *fdq.Q) {
-	sess := cat.Session()
+// executor produces them, under the governor's budgets when one is set.
+func run(cat *fdq.Catalog, qb *fdq.Q, gov *fdq.Governor) {
+	var sessOpts []fdq.SessionOption
+	if gov != nil {
+		sessOpts = append(sessOpts, fdq.WithGovernor(gov))
+	}
+	sess := fdq.NewSession(cat, sessOpts...)
 	ex, err := sess.Explain(qb)
 	if err != nil {
 		fatal(err)
@@ -118,6 +144,15 @@ func run(cat *fdq.Catalog, qb *fdq.Q) {
 	start := time.Now()
 	rows, err := sess.Query(context.Background(), qb)
 	if err != nil {
+		var be *fdq.BoundExceededError
+		if errors.As(err, &be) {
+			fmt.Fprintf(os.Stderr,
+				"fdjoin: query refused: its certified output bound 2^%.3f exceeds the -max-bound budget 2^%.3f\n"+
+					"        (the bound certifies worst-case output size — raise -max-bound, add FDs or degree\n"+
+					"        bounds that tighten the bound, or add -limit to cap the answer)\n",
+				be.LogBound, be.Budget)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	defer rows.Close()
@@ -142,7 +177,7 @@ func run(cat *fdq.Catalog, qb *fdq.Q) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fdjoin analyze <file.fdq> | fdjoin run [-alg A] [-parallel N] [-limit N] <file.fdq> | fdjoin demo")
+	fmt.Fprintln(os.Stderr, "usage: fdjoin analyze <file.fdq> | fdjoin run [-alg A] [-parallel N] [-limit N] [-timeout D] [-max-bound B] <file.fdq> | fdjoin demo")
 	os.Exit(2)
 }
 

@@ -1,0 +1,311 @@
+// Command saturate measures what the bound governor buys under overload.
+//
+// It drives one shared Catalog from hundreds of concurrent sessions in
+// three phases: cheap motif queries alone (the latency baseline), the
+// same cheap clients while worst/*-style AGM-saturating triangle bombs
+// pin the CPU through ungoverned sessions, and the overload mix again
+// with every session behind a PolicyReject Governor whose log2 budget
+// sits between the cheap bound and the bomb bound — bombs are refused at
+// admission (a typed fdq.ErrBoundExceeded, after which the bomb client
+// backs off) so the cheap clients keep the machine.
+//
+//	saturate -out BENCH_6.json [-duration 2s] [-clients 8] [-bombs 32]
+//
+// The report records per-phase p50/p99 cheap-query latency and the two
+// headline ratios: ungoverned p99 / unloaded p99 (how badly an open
+// system collapses) and governed p99 / unloaded p99 (how flat the
+// governed system stays).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/fdq"
+)
+
+const (
+	cheapN    = 20  // cheap motif: two-hop path over a dense n×n edge grid (~300µs of work)
+	bombN     = 128 // bomb: dense n×n triangle, output n^3 (worst/agm-product shape)
+	sessions  = 200 // concurrent sessions sharing the catalog (cycled by the clients)
+	bombPause = 10 * time.Millisecond
+
+	// cheapInterval is each cheap client's request period: the cheap
+	// tenants together offer well under one core of load, so their
+	// latency reflects what the bombs do to the machine, not each other.
+	cheapInterval = 10 * time.Millisecond
+)
+
+// Phase is one measured configuration of the mix.
+type Phase struct {
+	Name           string  `json:"name"`
+	CheapQueries   int     `json:"cheap_queries"`
+	P50Micros      float64 `json:"p50_us"`
+	P99Micros      float64 `json:"p99_us"`
+	BombAttempts   int64   `json:"bomb_attempts,omitempty"`
+	BombRuns       int64   `json:"bomb_runs,omitempty"`
+	BombRejections int64   `json:"bomb_rejections,omitempty"`
+}
+
+// Report is the committed BENCH_6.json document.
+type Report struct {
+	GoVersion string  `json:"go_version"`
+	GoArch    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Recorded  string  `json:"recorded"`
+	Clients   int     `json:"cheap_clients"`
+	Bombs     int     `json:"bomb_clients"`
+	Sessions  int     `json:"sessions"`
+	CheapLog2 float64 `json:"cheap_log_bound"`
+	BombLog2  float64 `json:"bomb_log_bound"`
+	Budget    float64 `json:"governor_log_budget"`
+	Phases    []Phase `json:"phases"`
+
+	UngovernedP99Ratio float64 `json:"ungoverned_p99_ratio"`
+	GovernedP99Ratio   float64 `json:"governed_p99_ratio"`
+	TargetUngoverned   float64 `json:"target_ungoverned_min"`
+	TargetGoverned     float64 `json:"target_governed_max"`
+	Pass               bool    `json:"pass"`
+}
+
+func main() {
+	duration := flag.Duration("duration", 2*time.Second, "measured window per phase")
+	clients := flag.Int("clients", 8, "cheap-query client goroutines")
+	bombs := flag.Int("bombs", 32, "bomb client goroutines during overload phases")
+	out := flag.String("out", "-", "report path, - for stdout")
+	flag.Parse()
+
+	cat := buildCatalog()
+	cheapLB := explainBound(cat, cheapQuery())
+	bombLB := explainBound(cat, bombQuery())
+	budget := math.Ceil(cheapLB) + 1 // admits every cheap query, refuses every bomb
+	if budget >= bombLB {
+		fatal(fmt.Errorf("budget %.1f does not separate cheap 2^%.1f from bomb 2^%.1f", budget, cheapLB, bombLB))
+	}
+	gov := fdq.NewGovernor(fdq.WithMaxLogBound(budget)) // PolicyReject is the default
+
+	rep := Report{
+		GoVersion:        runtime.Version(),
+		GoArch:           runtime.GOARCH,
+		NumCPU:           runtime.NumCPU(),
+		Recorded:         time.Now().UTC().Format(time.RFC3339),
+		Clients:          *clients,
+		Bombs:            *bombs,
+		Sessions:         sessions,
+		CheapLog2:        round3(cheapLB),
+		BombLog2:         round3(bombLB),
+		Budget:           budget,
+		TargetUngoverned: 20,
+		TargetGoverned:   5,
+	}
+
+	fmt.Fprintf(os.Stderr, "saturate: cheap bound 2^%.2f, bomb bound 2^%.2f, budget 2^%.0f, %d+%d clients over %d sessions\n",
+		cheapLB, bombLB, budget, *clients, *bombs, sessions)
+
+	unloaded := runPhase(cat, "unloaded", *duration, *clients, 0, nil)
+	ungoverned := runPhase(cat, "ungoverned-overload", *duration, *clients, *bombs, nil)
+	governed := runPhase(cat, "governed-overload", *duration, *clients, *bombs, gov)
+	rep.Phases = []Phase{unloaded, ungoverned, governed}
+
+	rep.UngovernedP99Ratio = round3(ungoverned.P99Micros / unloaded.P99Micros)
+	rep.GovernedP99Ratio = round3(governed.P99Micros / unloaded.P99Micros)
+	rep.Pass = rep.UngovernedP99Ratio >= rep.TargetUngoverned && rep.GovernedP99Ratio <= rep.TargetGoverned
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "saturate: ungoverned p99 %.1f× unloaded (target ≥%.0f×), governed %.1f× (target ≤%.0f×): pass=%v\n",
+		rep.UngovernedP99Ratio, rep.TargetUngoverned, rep.GovernedP99Ratio, rep.TargetGoverned, rep.Pass)
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+// buildCatalog defines the cheap motif's sparse edge list and the bomb's
+// dense triangle relations (the worst/agm-product construction: three
+// complete n×n relations whose triangle join saturates the AGM bound).
+func buildCatalog() *fdq.Catalog {
+	cat := fdq.NewCatalog()
+	dense := func(n int) [][]fdq.Value {
+		var rows [][]fdq.Value
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				rows = append(rows, []fdq.Value{int64(i), int64(j)})
+			}
+		}
+		return rows
+	}
+	if err := cat.Define("E", []string{"a", "b"}, dense(cheapN)); err != nil {
+		fatal(err)
+	}
+	grid := dense(bombN)
+	for _, name := range []string{"R", "S", "T"} {
+		if err := cat.Define(name, []string{"a", "b"}, grid); err != nil {
+			fatal(err)
+		}
+	}
+	return cat
+}
+
+// cheapQuery is the motif a well-behaved tenant runs: a two-hop path over
+// the small edge grid — about a millisecond of work, the scale at which
+// scheduler starvation shows up inside a single query's latency.
+func cheapQuery() *fdq.Q {
+	return fdq.Query().Vars("x", "y", "z").Rel("E", "x", "y").Rel("E", "y", "z")
+}
+
+// bombQuery is the adversarial tenant: the AGM-saturating dense triangle,
+// counted so it is pure CPU with no materialization ceiling.
+func bombQuery() *fdq.Q {
+	return fdq.Query().Vars("x", "y", "z").
+		Rel("R", "x", "y").Rel("S", "y", "z").Rel("T", "z", "x")
+}
+
+func explainBound(cat *fdq.Catalog, q *fdq.Q) float64 {
+	ex, err := cat.Session().Explain(q)
+	if err != nil {
+		fatal(err)
+	}
+	return ex.LogBound
+}
+
+// runPhase measures cheap-query latency for d while bombs (if any) churn,
+// everything running through gov when non-nil. Each client cycles through
+// its own slice of a session pool so the catalog really serves hundreds
+// of concurrent sessions.
+func runPhase(cat *fdq.Catalog, name string, d time.Duration, clients, bombs int, gov *fdq.Governor) Phase {
+	newSession := func() *fdq.Session {
+		if gov != nil {
+			return fdq.NewSession(cat, fdq.WithGovernor(gov))
+		}
+		return cat.Session()
+	}
+	pool := make([]*fdq.Session, sessions)
+	for i := range pool {
+		pool[i] = newSession()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var bombAttempts, bombRuns, bombRejects int64
+	var wg sync.WaitGroup
+	for b := 0; b < bombs; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			q := bombQuery()
+			for i := 0; ctx.Err() == nil; i++ {
+				sess := pool[(b*31+i)%len(pool)]
+				atomic.AddInt64(&bombAttempts, 1)
+				_, err := sess.Count(ctx, q)
+				switch {
+				case err == nil:
+					atomic.AddInt64(&bombRuns, 1)
+				case errors.Is(err, fdq.ErrBoundExceeded):
+					atomic.AddInt64(&bombRejects, 1)
+					select { // refused: back off before retrying
+					case <-time.After(bombPause):
+					case <-ctx.Done():
+					}
+				}
+			}
+		}(b)
+	}
+
+	// Let the bombs reach steady state before the measured window opens.
+	warm := 200 * time.Millisecond
+	if bombs == 0 {
+		warm = 50 * time.Millisecond
+	}
+	time.Sleep(warm)
+
+	var mu sync.Mutex
+	var lat []time.Duration
+	deadline := time.Now().Add(d)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			q := cheapQuery()
+			var mine []time.Duration
+			defer func() {
+				mu.Lock()
+				lat = append(lat, mine...)
+				mu.Unlock()
+			}()
+			// Open-loop: requests "arrive" on a fixed schedule and latency
+			// is measured from the intended arrival time, so time a starved
+			// client spends waiting to be scheduled counts against the
+			// system instead of silently thinning the sample (the
+			// coordinated-omission trap).
+			for i, next := 0, time.Now(); next.Before(deadline); i, next = i+1, next.Add(cheapInterval) {
+				if d := time.Until(next); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						return
+					}
+				}
+				sess := pool[(c*17+i)%len(pool)]
+				if _, err := sess.Count(ctx, q); err != nil {
+					if errors.Is(err, context.Canceled) { // phase ended mid-query
+						return
+					}
+					fatal(fmt.Errorf("phase %s: cheap query failed: %w", name, err))
+				}
+				mine = append(mine, time.Since(next))
+			}
+		}(c)
+	}
+
+	time.Sleep(time.Until(deadline))
+	cancel()
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := Phase{
+		Name:           name,
+		CheapQueries:   len(lat),
+		P50Micros:      micros(percentile(lat, 0.50)),
+		P99Micros:      micros(percentile(lat, 0.99)),
+		BombAttempts:   bombAttempts,
+		BombRuns:       bombRuns,
+		BombRejections: bombRejects,
+	}
+	fmt.Fprintf(os.Stderr, "saturate: %-20s %6d cheap queries, p50 %8.0fµs p99 %8.0fµs, bombs attempted=%d run=%d rejected=%d\n",
+		p.Name, p.CheapQueries, p.P50Micros, p.P99Micros, bombAttempts, bombRuns, bombRejects)
+	return p
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func micros(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "saturate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/fdq"
+)
+
+// TestPhasesMicro drives miniature versions of all three phases: the
+// full-length measurement is cmd/saturate itself (BENCH_6.json); here we
+// check the harness machinery — catalog, bounds, the governed rejection
+// loop, and the percentile plumbing.
+func TestPhasesMicro(t *testing.T) {
+	cat := buildCatalog()
+	cheapLB := explainBound(cat, cheapQuery())
+	bombLB := explainBound(cat, bombQuery())
+	if math.IsNaN(cheapLB) || math.IsNaN(bombLB) || cheapLB >= bombLB {
+		t.Fatalf("bounds do not separate: cheap %v bomb %v", cheapLB, bombLB)
+	}
+	budget := math.Ceil(cheapLB) + 1
+	if budget >= bombLB {
+		t.Fatalf("budget %v does not sit between the bounds", budget)
+	}
+	gov := fdq.NewGovernor(fdq.WithMaxLogBound(budget))
+
+	const d = 150 * time.Millisecond
+	unloaded := runPhase(cat, "unloaded", d, 1, 0, nil)
+	if unloaded.CheapQueries == 0 || unloaded.P99Micros <= 0 {
+		t.Fatalf("unloaded phase produced no samples: %+v", unloaded)
+	}
+	governed := runPhase(cat, "governed", d, 1, 2, gov)
+	if governed.BombRejections == 0 {
+		t.Fatalf("governor rejected no bombs: %+v", governed)
+	}
+	if governed.BombRuns != 0 {
+		t.Fatalf("governor admitted %d bombs over budget", governed.BombRuns)
+	}
+	ungoverned := runPhase(cat, "ungoverned", d, 1, 2, nil)
+	if ungoverned.BombAttempts == 0 {
+		t.Fatalf("no bombs attempted ungoverned: %+v", ungoverned)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Fatalf("percentile(nil) = %v, want 0", got)
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 0.50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := percentile(sorted, 0.99); got != 9 {
+		t.Fatalf("p99 of 10 = %v, want 9 (index floor)", got)
+	}
+	if got := micros(1500 * time.Nanosecond); got != 1.5 {
+		t.Fatalf("micros = %v, want 1.5", got)
+	}
+	if got := round3(1.23456); got != 1.235 {
+		t.Fatalf("round3 = %v, want 1.235", got)
+	}
+}

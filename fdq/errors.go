@@ -1,0 +1,112 @@
+package fdq
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/engine"
+)
+
+// Sentinel errors for errors.Is dispatch. Each has a corresponding typed
+// error (matched via errors.As) carrying the numbers behind the refusal:
+//
+//	if errors.Is(err, fdq.ErrBoundExceeded) {
+//	    var be *fdq.BoundExceededError
+//	    errors.As(err, &be) // be.LogBound vs be.Budget
+//	    n, _ := sess.Count(ctx, q) // degrade by hand, or use PolicyDegrade
+//	}
+var (
+	// ErrBoundExceeded: the query's certified log2 output bound exceeds
+	// the governor's admission budget and the policy is PolicyReject.
+	ErrBoundExceeded = errors.New("fdq: certified bound exceeds admission budget")
+	// ErrRowsExceeded: the governor's per-query row budget was exceeded
+	// mid-execution (unlike Limit, which truncates silently by request).
+	ErrRowsExceeded = errors.New("fdq: row budget exceeded")
+	// ErrMemoryExceeded: the per-query memory budget was exceeded.
+	ErrMemoryExceeded = errors.New("fdq: memory budget exceeded")
+	// ErrPanicked: execution panicked (a UDF or executor bug); the query
+	// failed but the process, session, and catalog remain usable.
+	ErrPanicked = errors.New("fdq: query execution panicked")
+)
+
+// BoundExceededError is the admission refusal: the planner certified an
+// output bound of 2^LogBound, the governor's budget is 2^Budget, and the
+// policy is PolicyReject. Callers can degrade by hand (Count, Limit) or
+// route the query to a less contended governor.
+type BoundExceededError struct {
+	LogBound float64 // certified log2 output bound of the rejected query
+	Budget   float64 // the governor's admission budget (log2)
+}
+
+func (e *BoundExceededError) Error() string {
+	return fmt.Sprintf("fdq: certified output bound 2^%.2f exceeds admission budget 2^%.2f", e.LogBound, e.Budget)
+}
+
+// Is reports sentinel identity, so errors.Is(err, ErrBoundExceeded) works.
+func (e *BoundExceededError) Is(target error) bool { return target == ErrBoundExceeded }
+
+// RowsExceededError reports a tripped per-query row budget.
+type RowsExceededError struct {
+	Limit int // the governor's row budget
+}
+
+func (e *RowsExceededError) Error() string {
+	return fmt.Sprintf("fdq: result exceeds the %d-row budget", e.Limit)
+}
+
+func (e *RowsExceededError) Is(target error) bool { return target == ErrRowsExceeded }
+
+// MemoryExceededError reports a tripped per-query memory budget. Used is
+// the approximate accounted bytes (result data across partition buffers
+// and sink deliveries) when the run was aborted.
+type MemoryExceededError struct {
+	Limit int64
+	Used  int64
+}
+
+func (e *MemoryExceededError) Error() string {
+	return fmt.Sprintf("fdq: accounted %d bytes of result data over the %d-byte budget", e.Used, e.Limit)
+}
+
+func (e *MemoryExceededError) Is(target error) bool { return target == ErrMemoryExceeded }
+
+// PanicError reports that query execution panicked. The panic was
+// recovered on the goroutine that raised it (the caller's, the streaming
+// producer's, or a partition worker's), so exactly this query failed: the
+// session, its prepared-shape cache, and the catalog remain fully usable,
+// and no worker goroutine or Rows channel leaks.
+type PanicError struct {
+	Reason string // the panic value, formatted
+	Stack  string // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string { return "fdq: query execution panicked: " + e.Reason }
+
+func (e *PanicError) Is(target error) bool { return target == ErrPanicked }
+
+// wrapExecErr maps internal execution errors onto the public typed errors;
+// anything unrecognized passes through unchanged.
+func wrapExecErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *engine.PanicError
+	if errors.As(err, &pe) {
+		return &PanicError{Reason: fmt.Sprint(pe.Value), Stack: string(pe.Stack)}
+	}
+	var me *engine.MemLimitError
+	if errors.As(err, &me) {
+		return &MemoryExceededError{Limit: me.Limit, Used: me.Used}
+	}
+	return err
+}
+
+// recoverToError converts a panic on an fdq-level path (session cache
+// bookkeeping, sinks, anything outside the engine's own recovery) into a
+// *PanicError stored in *err.
+func recoverToError(err *error) {
+	if p := recover(); p != nil {
+		*err = &PanicError{Reason: fmt.Sprint(p), Stack: string(debug.Stack())}
+	}
+}

@@ -1,0 +1,49 @@
+package fdq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The typed errors carry the budget numbers in their message and match
+// their sentinel via errors.Is; each pair is part of the public contract.
+func TestTypedErrorMessagesAndSentinels(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+		want     []string
+	}{
+		{&BoundExceededError{LogBound: 17.5, Budget: 12}, ErrBoundExceeded, []string{"2^17.50", "2^12.00"}},
+		{&RowsExceededError{Limit: 42}, ErrRowsExceeded, []string{"42-row"}},
+		{&MemoryExceededError{Limit: 1024, Used: 4096}, ErrMemoryExceeded, []string{"4096 bytes", "1024-byte"}},
+		{&PanicError{Reason: "boom", Stack: "stack"}, ErrPanicked, []string{"panicked", "boom"}},
+	}
+	for _, c := range cases {
+		msg := c.err.Error()
+		for _, w := range c.want {
+			if !strings.Contains(msg, w) {
+				t.Errorf("%T message %q missing %q", c.err, msg, w)
+			}
+		}
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%T does not match its sentinel", c.err)
+		}
+		if errors.Is(c.err, ErrBoundExceeded) && c.sentinel != ErrBoundExceeded {
+			t.Errorf("%T wrongly matches ErrBoundExceeded", c.err)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		PolicyReject:  "reject",
+		PolicyQueue:   "queue",
+		PolicyDegrade: "degrade",
+		Policy(99):    "unknown",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Policy(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}

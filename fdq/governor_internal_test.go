@@ -1,0 +1,152 @@
+package fdq
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// waitWaiters polls until the semaphore's queue reaches n waiters.
+func waitWaiters(t *testing.T, s *weightedSem, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		ln := s.waiters.Len()
+		s.mu.Unlock()
+		if ln == n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("semaphore never reached %d waiters", n)
+}
+
+// TestWeightedSemFIFO: a waiter that would fit numerically still queues
+// behind an earlier, heavier waiter — strict arrival order, so cheap
+// requests cannot starve an expensive one.
+func TestWeightedSemFIFO(t *testing.T) {
+	bg := context.Background()
+	s := newWeightedSem(4)
+	if waited, err := s.acquire(bg, 2); err != nil || waited {
+		t.Fatalf("uncontended acquire: waited=%v err=%v", waited, err)
+	}
+
+	aDone := make(chan struct{})
+	go func() {
+		if _, err := s.acquire(bg, 3); err != nil {
+			t.Error(err)
+		}
+		close(aDone)
+	}()
+	waitWaiters(t, s, 1)
+
+	bDone := make(chan struct{})
+	go func() {
+		if _, err := s.acquire(bg, 2); err != nil {
+			t.Error(err)
+		}
+		close(bDone)
+	}()
+	waitWaiters(t, s, 2)
+
+	// B (weight 2) fits right now (2 + 2 ≤ 4) but A arrived first.
+	select {
+	case <-bDone:
+		t.Fatal("FIFO violated: later waiter granted past the queue head")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	s.release(2)
+	<-aDone // head granted first
+	select {
+	case <-bDone:
+		t.Fatal("B granted while A holds 3 of 4")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.release(3)
+	<-bDone
+	s.release(2)
+
+	// Everything returned: full capacity acquirable without waiting.
+	if waited, err := s.acquire(bg, 4); err != nil || waited {
+		t.Fatalf("capacity not restored: waited=%v err=%v", waited, err)
+	}
+	s.release(4)
+}
+
+// TestWeightedSemCancelWhileQueued: cancelling a queued acquire returns
+// ctx.Err(), removes the waiter, and leaves the queue consistent for the
+// waiters behind it.
+func TestWeightedSemCancelWhileQueued(t *testing.T) {
+	bg := context.Background()
+	s := newWeightedSem(2)
+	if _, err := s.acquire(bg, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.acquire(ctx, 1)
+		errc <- err
+	}()
+	waitWaiters(t, s, 1)
+
+	done := make(chan struct{})
+	go func() {
+		if _, err := s.acquire(bg, 1); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	}()
+	waitWaiters(t, s, 2)
+
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+	waitWaiters(t, s, 1) // cancelled waiter removed, survivor still queued
+	select {
+	case <-done:
+		t.Fatal("survivor granted while capacity exhausted")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	s.release(2)
+	<-done
+	s.release(1)
+}
+
+// TestWeightedSemClamp: a request heavier than the capacity is clamped so
+// it can always be granted (alone).
+func TestWeightedSemClamp(t *testing.T) {
+	bg := context.Background()
+	s := newWeightedSem(2)
+	if waited, err := s.acquire(bg, 100); err != nil || waited {
+		t.Fatalf("clamped acquire: waited=%v err=%v", waited, err)
+	}
+	s.release(100)
+	if waited, err := s.acquire(bg, 2); err != nil || waited {
+		t.Fatalf("capacity not restored after clamped release: waited=%v err=%v", waited, err)
+	}
+	s.release(2)
+}
+
+func TestPow2Clamped(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{-3, 1}, {0, 1}, {0.5, 2}, {3, 8}, {3.2, 16},
+		{62, 1 << 62}, {400, 1 << 62},
+		{math.NaN(), 1 << 62}, {math.Inf(1), 1 << 62},
+	}
+	for _, c := range cases {
+		if got := pow2Clamped(c.in); got != c.want {
+			t.Errorf("pow2Clamped(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -17,18 +18,30 @@ type RunStats struct {
 	Workers   int           // goroutines that executed partitions (1 = sequential)
 	Rows      int           // rows emitted (a stopped run counts what it delivered)
 	Duration  time.Duration // wall-clock execution time
+	LogBound  float64       // certified log2 output bound the planner computed (NaN if none)
+	MemBytes  int64         // approximate result bytes accounted (8 per value)
+	QueueWait time.Duration // time spent queued behind the governor's semaphore
+	Degraded  bool          // ran in PolicyDegrade mode (LIMIT-k or COUNT-only)
 }
 
-func runStats(st *engine.Stats) *RunStats {
+func runStats(st *engine.Stats, adm *admission) *RunStats {
 	if st == nil {
 		return nil
 	}
-	return &RunStats{
+	rs := &RunStats{
 		Algorithm: string(st.Plan.Algorithm),
 		Workers:   st.Workers,
 		Rows:      st.OutSize,
 		Duration:  st.Duration,
+		MemBytes:  st.MemBytes,
+		LogBound:  math.NaN(),
 	}
+	if adm != nil {
+		rs.LogBound = adm.logBound
+		rs.QueueWait = adm.wait
+		rs.Degraded = adm.degraded
+	}
+	return rs
 }
 
 // rowsBuffer is the Rows channel capacity: enough that producer and
@@ -70,6 +83,7 @@ type Rows struct {
 	done      bool // ch closed and observed
 	err       error
 	stats     *engine.Stats
+	adm       *admission // admission info, for the governed RunStats fields
 }
 
 func newRows(cols []string, parent context.Context, cancel context.CancelFunc) *Rows {
@@ -84,14 +98,28 @@ func newRows(cols []string, parent context.Context, cancel context.CancelFunc) *
 // run executes in the iterator's producer goroutine; err and stats are
 // published before the channel closes (Next/Close read them only after).
 // ctx is the iterator-owned derived context: its Done channel doubles as
-// the sink's stop signal, so cancellation unblocks a parked Push.
-func (r *Rows) run(ctx context.Context, b *engine.Bound, opts *engine.Options, limit int) {
+// the sink's stop signal, so cancellation unblocks a parked Push. The
+// admission's semaphore hold is released here, when the work is done —
+// never earlier — so queued admission actually bounds concurrent load.
+func (r *Rows) run(ctx context.Context, e *exec) {
 	defer close(r.ch)
-	var sink rel.Sink = &rel.ChanSink{C: r.ch, Stop: ctx.Done()}
-	if limit > 0 {
-		sink = rel.Limit(sink, limit)
+	defer e.adm.release()
+	r.adm = e.adm
+	var base rel.Sink = &rel.ChanSink{C: r.ch, Stop: ctx.Done()}
+	if e.countOnly {
+		// COUNT-only degrade: deliver no rows; the count surfaces via
+		// Stats().Rows once the iterator reports exhaustion.
+		base = &rel.CountSink{}
 	}
-	r.stats, r.err = b.RunInto(ctx, opts, sink)
+	sink, bs := e.sink(base, !e.countOnly)
+	func() {
+		// Belt and braces: the engine recovers its own panics, but a
+		// panic in fdq-level sink plumbing must not kill the process — it
+		// becomes this iterator's error like any other.
+		defer recoverToError(&r.err)
+		r.stats, r.err = e.b.RunInto(ctx, e.opts, sink)
+	}()
+	r.err = e.execErr(r.err, bs)
 	if r.err == nil {
 		// A cancellation can also surface as a clean sink stop (the Done
 		// channel doubles as the stop signal, and the stop path is not an
@@ -174,5 +202,5 @@ func (r *Rows) Stats() *RunStats {
 	if !r.done {
 		return nil
 	}
-	return runStats(r.stats)
+	return runStats(r.stats, r.adm)
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/rel"
 )
 
@@ -28,6 +29,7 @@ const DefaultPreparedCacheSize = 64
 type Session struct {
 	cat *Catalog
 	cap int
+	gov *Governor // nil = ungoverned
 
 	mu      sync.Mutex
 	entries map[string]*list.Element // signature → element holding *cacheEntry
@@ -67,6 +69,14 @@ func WithPreparedCacheSize(n int) SessionOption {
 	}
 }
 
+// WithGovernor attaches a resource governor: every execution is admitted
+// against the governor's bound budget before it runs and carries its
+// per-query budgets (deadline, row cap, memory cap) while it runs. One
+// governor may be shared across sessions.
+func WithGovernor(g *Governor) SessionOption {
+	return func(s *Session) { s.gov = g }
+}
+
 // NewSession returns a session over the catalog.
 func NewSession(cat *Catalog, opts ...SessionOption) *Session {
 	s := &Session{cat: cat, cap: DefaultPreparedCacheSize, entries: map[string]*list.Element{}, order: list.New()}
@@ -86,18 +96,24 @@ func (s *Session) CacheStats() CacheStats {
 }
 
 // entry returns (creating and evicting as needed) the cache entry for sig.
+// The trim loop runs on every lookup, not just after an insert, so a cache
+// left over capacity by an interrupted eviction (a panic mid-trim) heals
+// itself on the next use instead of staying oversized.
 func (s *Session) entry(sig string) *cacheEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var e *cacheEntry
 	if el, ok := s.entries[sig]; ok {
 		s.order.MoveToFront(el)
 		s.stats.Hits++
-		return el.Value.(*cacheEntry)
+		e = el.Value.(*cacheEntry)
+	} else {
+		e = &cacheEntry{sig: sig}
+		s.entries[sig] = s.order.PushFront(e)
+		s.stats.Misses++
 	}
-	e := &cacheEntry{sig: sig}
-	s.entries[sig] = s.order.PushFront(e)
-	s.stats.Misses++
 	for s.order.Len() > s.cap {
+		faultinject.Fire(faultinject.SiteCacheEvict)
 		back := s.order.Back()
 		s.order.Remove(back)
 		delete(s.entries, back.Value.(*cacheEntry).sig)
@@ -204,58 +220,191 @@ func engineOptions(q *Q) (*engine.Options, error) {
 	return &engine.Options{Algorithm: alg, Workers: q.workers}, nil
 }
 
-// limited wraps sink with the query's Limit, if any.
-func limited(q *Q, sink rel.Sink) rel.Sink {
-	if q.limit > 0 {
-		return rel.Limit(sink, q.limit)
+// exec is one admitted execution: the resolved binding plus the budgets
+// the governor attached. finish must run when the execution completes (it
+// returns the admission's semaphore hold and releases the deadline
+// context).
+type exec struct {
+	ctx       context.Context
+	cancel    context.CancelFunc // non-nil iff a governor deadline is attached
+	b         *engine.Bound
+	opts      *engine.Options
+	adm       *admission
+	limit     int  // effective row limit: the query's, tightened by degrade
+	countOnly bool // degraded to COUNT-only: deliver no rows
+	maxRows   int  // governor delivered-row budget (0 = none)
+}
+
+func (e *exec) finish() {
+	if e.cancel != nil {
+		e.cancel()
 	}
-	return sink
+	e.adm.release()
+}
+
+// begin resolves q, admits it against the session's governor (if any), and
+// assembles its execution budget. On success the caller owns e.finish().
+func (s *Session) begin(ctx context.Context, q *Q) (*exec, error) {
+	b, opts, err := s.resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	e := &exec{ctx: ctx, b: b, opts: opts, limit: q.limit}
+	// The certified output bound drives admission and is reported in
+	// RunStats even when ungoverned. Plan() is memoized per binding.
+	logBound := b.Plan().LogBound
+	g := s.gov
+	if g == nil {
+		e.adm = &admission{logBound: logBound}
+		return e, nil
+	}
+	if g.timeout > 0 {
+		e.ctx, e.cancel = context.WithTimeout(ctx, g.timeout)
+	}
+	adm, err := g.admit(e.ctx, logBound)
+	if err != nil {
+		if e.cancel != nil {
+			e.cancel()
+		}
+		return nil, err
+	}
+	e.adm = adm
+	if adm.degraded {
+		if g.degradeLimit > 0 {
+			if e.limit <= 0 || e.limit > g.degradeLimit {
+				e.limit = g.degradeLimit
+			}
+		} else {
+			e.countOnly = true
+		}
+	}
+	e.maxRows = g.maxRows
+	opts.MemLimitBytes = g.maxMem
+	return e, nil
+}
+
+// budgetSink enforces the governor's delivered-row budget. Unlike
+// LimitSink — a caller's request, truncating silently — tripping this
+// budget stops the producer and fails the query with *RowsExceededError.
+type budgetSink struct {
+	s       rel.Sink
+	max     int
+	n       int
+	tripped bool
+}
+
+func (b *budgetSink) Push(t rel.Tuple) bool {
+	if b.n >= b.max {
+		b.tripped = true
+		return false
+	}
+	b.n++
+	return b.s.Push(t)
+}
+
+// sink assembles the execution's sink chain over base: the effective
+// LIMIT, then (for row-delivering executions only — counting delivers no
+// rows) the governor's row budget.
+func (e *exec) sink(base rel.Sink, delivering bool) (rel.Sink, *budgetSink) {
+	s := base
+	if e.limit > 0 {
+		s = rel.Limit(s, e.limit)
+	}
+	var bs *budgetSink
+	if delivering && e.maxRows > 0 {
+		bs = &budgetSink{s: s, max: e.maxRows}
+		s = bs
+	}
+	return s, bs
+}
+
+// execErr finalizes an execution's error: a tripped row budget (which the
+// engine reports as a clean consumer stop) becomes *RowsExceededError, and
+// internal engine errors are mapped to the public typed errors.
+func (e *exec) execErr(err error, bs *budgetSink) error {
+	if err == nil && bs != nil && bs.tripped {
+		return &RowsExceededError{Limit: bs.max}
+	}
+	return wrapExecErr(err)
 }
 
 // Query starts executing q and returns a streaming iterator over its
 // result rows (see Rows). The iterator's channel is bounded, so a slow
 // consumer backpressures the executor; Close (or cancelling ctx) stops the
-// executor promptly. The first resolution error is returned here; errors
-// during execution surface from Rows.Err.
-func (s *Session) Query(ctx context.Context, q *Q) (*Rows, error) {
-	b, opts, err := s.resolve(q)
+// executor promptly. The first resolution or admission error is returned
+// here; errors during execution surface from Rows.Err.
+//
+// Under a governor, the iterator runs with the governor's budgets: its
+// deadline, row budget (tripping it surfaces ErrRowsExceeded from Err),
+// and memory budget all apply, and a COUNT-only degraded run delivers no
+// rows — the count arrives in Stats().Rows.
+func (s *Session) Query(ctx context.Context, q *Q) (r *Rows, err error) {
+	defer recoverToError(&err)
+	e, err := s.begin(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	rctx, cancel := context.WithCancel(ctx)
-	r := newRows(q.vars, ctx, cancel)
-	go r.run(rctx, b, opts, q.limit)
+	rctx, rcancel := context.WithCancel(e.ctx)
+	cancel := rcancel
+	if e.cancel != nil {
+		ecancel := e.cancel
+		cancel = func() { rcancel(); ecancel() }
+	}
+	r = newRows(q.vars, ctx, cancel)
+	go r.run(rctx, e)
 	return r, nil
 }
 
 // Collect executes q and materializes the full (or Limit-capped) answer:
 // one []Value per row, columns in Vars order, rows lexicographically
-// sorted and duplicate-free.
-func (s *Session) Collect(ctx context.Context, q *Q) ([][]Value, error) {
-	b, opts, err := s.resolve(q)
+// sorted and duplicate-free. A COUNT-only degraded run returns no rows
+// (use Count, or Query's Stats, for the count).
+func (s *Session) Collect(ctx context.Context, q *Q) (out [][]Value, err error) {
+	defer recoverToError(&err)
+	e, err := s.begin(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	sink := rel.NewCollect("Q", seqAttrs(len(q.vars))...)
-	if _, err := b.RunInto(ctx, opts, limited(q, sink)); err != nil {
+	defer e.finish()
+	var base rel.Sink
+	var collect *rel.CollectSink
+	if e.countOnly {
+		base = &rel.CountSink{}
+	} else {
+		collect = rel.NewCollect("Q", seqAttrs(len(q.vars))...)
+		base = collect
+	}
+	sink, bs := e.sink(base, !e.countOnly)
+	_, rerr := e.b.RunInto(e.ctx, e.opts, sink)
+	if err := e.execErr(rerr, bs); err != nil {
 		return nil, err
 	}
-	out := make([][]Value, sink.R.Len())
+	if collect == nil {
+		return nil, nil
+	}
+	out = make([][]Value, collect.R.Len())
 	for i := range out {
-		out[i] = append([]Value(nil), sink.R.Row(i)...)
+		out[i] = append([]Value(nil), collect.R.Row(i)...)
 	}
 	return out, nil
 }
 
 // Count executes q and returns the number of result rows (capped by
-// Limit, if set) without materializing a single tuple.
-func (s *Session) Count(ctx context.Context, q *Q) (int, error) {
-	b, opts, err := s.resolve(q)
+// Limit, if set) without materializing a single tuple. Counting delivers
+// no rows, so the governor's row budget does not apply (a COUNT-only
+// degraded session still counts in full); the deadline and memory budget
+// do.
+func (s *Session) Count(ctx context.Context, q *Q) (n int, err error) {
+	defer recoverToError(&err)
+	e, err := s.begin(ctx, q)
 	if err != nil {
 		return 0, err
 	}
+	defer e.finish()
 	var c rel.CountSink
-	if _, err := b.RunInto(ctx, opts, limited(q, &c)); err != nil {
+	sink, bs := e.sink(&c, false)
+	_, rerr := e.b.RunInto(e.ctx, e.opts, sink)
+	if err := e.execErr(rerr, bs); err != nil {
 		return 0, err
 	}
 	return c.N, nil

@@ -55,6 +55,13 @@ type Options struct {
 	Algorithm       Algorithm // "" or AlgAuto: cost-based planner decides
 	Workers         int       // ≤0: GOMAXPROCS; 1 forces sequential
 	MinParallelRows int       // ≤0: default 2048 total input rows
+	// MemLimitBytes, when > 0, aborts the run with a *MemLimitError once
+	// the approximate bytes of result data accounted — parallel partition
+	// buffers plus rows delivered to the sink — exceed the budget. The
+	// accounting is coarse (8 bytes per value, executor-internal buffers
+	// on the sequential buffering paths are not gauged); it is a resource
+	// governor's backstop, not an allocator.
+	MemLimitBytes int64
 }
 
 // Stats reports what one Run did: the plan (chosen algorithm, predicted
@@ -65,7 +72,8 @@ type Stats struct {
 	Workers      int // goroutines that executed partitions (1 = sequential)
 	PartitionVar int // variable whose domain was partitioned; -1 sequential
 	Duration     time.Duration
-	OutSize      int // rows emitted (for a sink-stopped run: including the stopping push)
+	OutSize      int   // rows emitted (for a sink-stopped run: including the stopping push)
+	MemBytes     int64 // approximate result bytes accounted (partition buffers + sink deliveries)
 }
 
 // Prepared is an analyzed query shape. It wraps the query whose lattice has
@@ -141,6 +149,9 @@ func (o *Options) withDefaults() Options {
 		if o.MinParallelRows > 0 {
 			out.MinParallelRows = o.MinParallelRows
 		}
+		if o.MemLimitBytes > 0 {
+			out.MemLimitBytes = o.MemLimitBytes
+		}
 	}
 	return out
 }
@@ -172,14 +183,21 @@ func (b *Bound) Run(ctx context.Context, opts *Options) (*rel.Relation, *Stats, 
 // Rows are pushed from the calling goroutine on the sequential path and
 // from the merging goroutine on the parallel path — never concurrently —
 // so the sink needs no locking.
-func (b *Bound) RunInto(ctx context.Context, opts *Options, sink rel.Sink) (*Stats, error) {
+//
+// Execution is panic-isolated: a panic anywhere in the executors — a
+// user-supplied UDF, a sink, an executor bug — is recovered and returned
+// as a *PanicError carrying the panic value and stack, on this goroutine
+// and on every partition worker, so one poisoned query never kills the
+// process or its sibling partitions (which are cancelled promptly).
+func (b *Bound) RunInto(ctx context.Context, opts *Options, sink rel.Sink) (st *Stats, err error) {
+	defer recoverToError(&err)
 	o := opts.withDefaults()
 	start := time.Now()
-	plan, err := b.plan(o.Algorithm)
-	if err != nil {
-		return nil, err
+	plan, perr := b.plan(o.Algorithm)
+	if perr != nil {
+		return nil, perr
 	}
-	st := &Stats{Plan: *plan, Workers: 1, PartitionVar: -1}
+	st = &Stats{Plan: *plan, Workers: 1, PartitionVar: -1}
 
 	workers := o.Workers
 	if workers <= 0 {
@@ -197,18 +215,26 @@ func (b *Bound) RunInto(ctx context.Context, opts *Options, sink rel.Sink) (*Sta
 	// its own length rather than wrapped: wrapping would hide it from
 	// rel.Stream's adoption fast path and turn the zero-copy materialized
 	// wrappers (Run, and buffering executors generally) into full
-	// row-by-row output copies.
+	// row-by-row output copies. A bare CollectSink is gauged only after
+	// the fact, though, so when MemLimitBytes must be enforced mid-run the
+	// collector is wrapped like any other sink — the memory governor
+	// trades the zero-copy handover for an enforceable budget.
 	runSink, outSize := sink, (func() int)(nil)
-	if c, ok := sink.(*rel.CollectSink); ok {
+	memBytes, memTripped := (func() int64)(nil), func() bool { return false }
+	if c, ok := sink.(*rel.CollectSink); ok && o.MemLimitBytes <= 0 {
 		before := c.R.Len()
+		arity := len(c.R.Attrs)
 		outSize = func() int { return c.R.Len() - before }
+		memBytes = func() int64 { return tupleBytes(c.R.Len()-before, arity) }
 	} else {
-		t := &tallySink{s: sink}
+		t := &tallySink{s: sink, limit: o.MemLimitBytes}
 		runSink = t
 		outSize = func() int { return t.n }
+		memBytes = func() int64 { return t.bytes }
+		memTripped = func() bool { return t.tripped }
 	}
 	if workers > 1 && b.q.TotalSize() >= o.MinParallelRows {
-		err = b.runParallelInto(ctx, plan, workers, st, runSink)
+		err = b.runParallelInto(ctx, plan, workers, o.MemLimitBytes, st, runSink)
 	} else {
 		if err = ctx.Err(); err == nil {
 			err = runOneInto(ctx, b.q, plan, runSink)
@@ -219,19 +245,34 @@ func (b *Bound) RunInto(ctx context.Context, opts *Options, sink rel.Sink) (*Sta
 	}
 	st.Duration = time.Since(start)
 	st.OutSize = outSize()
+	st.MemBytes += memBytes()
+	if memTripped() {
+		return st, &MemLimitError{Limit: o.MemLimitBytes, Used: st.MemBytes}
+	}
 	return st, nil
 }
 
 // tallySink counts emitted rows so Stats.OutSize stays accurate without
-// asking the caller's sink anything. The count includes the push on which
-// the sink stops the run (a LIMIT-k run reports OutSize k).
+// asking the caller's sink anything, and doubles as the sequential-path
+// memory gauge: it accounts each delivered row's bytes and, when a limit
+// is set, stops the producer once the budget is exceeded (RunInto then
+// converts the trip into a *MemLimitError). The count includes the push on
+// which the sink stops the run (a LIMIT-k run reports OutSize k).
 type tallySink struct {
-	s rel.Sink
-	n int
+	s       rel.Sink
+	n       int
+	bytes   int64
+	limit   int64 // 0 = account only
+	tripped bool
 }
 
 func (t *tallySink) Push(row rel.Tuple) bool {
 	t.n++
+	t.bytes += int64(len(row)) * 8
+	if t.limit > 0 && t.bytes > t.limit {
+		t.tripped = true
+		return false
+	}
 	return t.s.Push(row)
 }
 

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic recovered during query execution. One panicking
+// UDF or executor bug fails exactly the query that hit it — with the panic
+// value and the goroutine stack preserved for diagnosis — instead of
+// killing the process: RunInto recovers on the calling (or merging)
+// goroutine, and every parallel partition worker recovers on its own.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine, debug.Stack format
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: query execution panicked: %v", e.Value)
+}
+
+// recoverToError converts an in-flight panic into a *PanicError stored in
+// *err. Use as `defer recoverToError(&err)` on any goroutine that executes
+// query code.
+func recoverToError(err *error) {
+	if p := recover(); p != nil {
+		*err = &PanicError{Value: p, Stack: debug.Stack()}
+	}
+}
+
+// MemLimitError reports that an execution exceeded Options.MemLimitBytes:
+// the approximate bytes of result data accounted (partition buffers plus
+// sink deliveries) passed the budget and the run was aborted.
+type MemLimitError struct {
+	Limit int64 // the configured budget, bytes
+	Used  int64 // accounted bytes when the run tripped
+}
+
+func (e *MemLimitError) Error() string {
+	return fmt.Sprintf("engine: memory budget exceeded: accounted %d bytes over limit %d", e.Used, e.Limit)
+}
+
+// memGauge is a shared accountant for the parallel partition buffers: every
+// partition's collect sink adds each materialized row's bytes, and the
+// first add past the limit trips the gauge — stopping that sink and
+// cancelling the sibling workers via onTrip.
+type memGauge struct {
+	limit  int64 // 0 = account only, never trip
+	used   atomic.Int64
+	trip   atomic.Bool
+	onTrip func() // called once, on the tripping goroutine; may be nil
+}
+
+// add accounts n bytes, reporting false once the budget is exceeded.
+func (g *memGauge) add(n int64) bool {
+	used := g.used.Add(n)
+	if g.limit <= 0 || used <= g.limit {
+		return true
+	}
+	if g.trip.CompareAndSwap(false, true) && g.onTrip != nil {
+		g.onTrip()
+	}
+	return false
+}
+
+// tupleBytes approximates the memory of n rows of the given arity (8 bytes
+// per value; header overheads are deliberately ignored — the accounting is
+// a governor's coarse gauge, not an allocator).
+func tupleBytes(rows, arity int) int64 { return int64(rows) * int64(arity) * 8 }

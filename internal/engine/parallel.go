@@ -2,11 +2,13 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 
 	"repro/internal/chainalg"
 	"repro/internal/csma"
+	"repro/internal/faultinject"
 	"repro/internal/query"
 	"repro/internal/rel"
 	"repro/internal/smalg"
@@ -36,8 +38,13 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // The sink can only stop the merge, not the parts: partitions must finish
 // before a globally ordered merge can start, so a LIMIT-k consumer saves
 // the merge tail but still pays for partition execution. ctx cancellation,
-// in contrast, reaches into every worker's executor inner loops.
-func (b *Bound) runParallelInto(ctx context.Context, plan *Plan, workers int, st *Stats, sink rel.Sink) error {
+// in contrast, reaches into every worker's executor inner loops — and so
+// does the first partition failure: a worker that errors, panics, or trips
+// the shared memory gauge cancels the group context, so its siblings exit
+// promptly instead of completing doomed work. Worker panics are recovered
+// per goroutine into *PanicError; the first real (non-cancellation) error
+// wins.
+func (b *Bound) runParallelInto(ctx context.Context, plan *Plan, workers int, memLimit int64, st *Stats, sink rel.Sink) error {
 	if err := ctx.Err(); err != nil {
 		return err // don't pay the partition split for a dead context
 	}
@@ -50,6 +57,10 @@ func (b *Bound) runParallelInto(ctx context.Context, plan *Plan, workers int, st
 	st.Workers = workers
 	st.PartitionVar = v
 
+	gctx, gcancel := context.WithCancel(ctx)
+	defer gcancel()
+	gauge := &memGauge{limit: memLimit, onTrip: gcancel}
+
 	outs := make([]*rel.Relation, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -57,22 +68,69 @@ func (b *Bound) runParallelInto(ctx context.Context, plan *Plan, workers int, st
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			if err := ctx.Err(); err != nil {
+			defer func() {
+				if errs[p] != nil && !errors.Is(errs[p], context.Canceled) {
+					gcancel() // fail fast: release the siblings
+				}
+			}()
+			defer recoverToError(&errs[p])
+			faultinject.Fire(faultinject.SitePartitionWorker)
+			if err := gctx.Err(); err != nil {
 				errs[p] = err
 				return
 			}
 			qp := b.q.WithFreshRels(parts[p])
-			outs[p], errs[p] = runPartition(ctx, qp, plan)
+			outs[p], errs[p] = runPartition(gctx, qp, plan, gauge)
 		}(p)
 	}
 	wg.Wait()
+	st.MemBytes += gauge.used.Load()
+	// Error selection: a real failure beats the context.Canceled artifacts
+	// its group-cancel induced in the siblings; a cancellation of the
+	// caller's own ctx is reported as such.
+	var werr error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err != nil && !errors.Is(err, context.Canceled) {
+			werr = err
+			break
 		}
 	}
+	if werr == nil && gauge.trip.Load() {
+		return &MemLimitError{Limit: memLimit, Used: gauge.used.Load()}
+	}
+	if werr == nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if werr != nil {
+		return werr
+	}
+	faultinject.Fire(faultinject.SitePartitionMerge)
 	rel.MergeSortedInto(sink, outs)
 	return nil
+}
+
+// partSink wraps a partition's collect sink with the shared memory gauge:
+// every materialized row is accounted before it is stored, and a tripped
+// gauge stops this partition's producer (the group context stops the
+// others).
+type partSink struct {
+	c        *rel.CollectSink
+	g        *memGauge
+	rowBytes int64
+}
+
+func (s *partSink) Push(t rel.Tuple) bool {
+	if !s.g.add(s.rowBytes) {
+		return false
+	}
+	return s.c.Push(t)
 }
 
 // runPartition executes the planned algorithm on one partition instance.
@@ -84,61 +142,76 @@ func (b *Bound) runParallelInto(ctx context.Context, plan *Plan, workers int, st
 // substitute — a partition failure propagates, matching the sequential
 // path's error behaviour. A cancelled ctx always propagates: cancellation
 // is never "fixed" by falling back to another algorithm.
-func runPartition(ctx context.Context, qp *query.Q, plan *Plan) (*rel.Relation, error) {
-	collect := func() *rel.CollectSink {
-		return rel.NewCollect("Q", qp.AllVars().Members()...)
+func runPartition(ctx context.Context, qp *query.Q, plan *Plan, gauge *memGauge) (*rel.Relation, error) {
+	vars := qp.AllVars().Members()
+	rowBytes := tupleBytes(1, len(vars))
+	// Each attempt gets a fresh collector; the gauge is shared across
+	// attempts and partitions (a fallback re-run re-accounts its rows —
+	// acceptable slack for a coarse gauge, and only on the rare fallback).
+	collect := func() (*rel.CollectSink, rel.Sink) {
+		c := rel.NewCollect("Q", vars...)
+		if gauge == nil || gauge.limit <= 0 {
+			return c, c // keep the adoption fast path when nothing can trip
+		}
+		return c, &partSink{c: c, g: gauge, rowBytes: rowBytes}
+	}
+	account := func(c *rel.CollectSink, err error) (*rel.Relation, error) {
+		if gauge != nil && gauge.limit <= 0 {
+			gauge.add(tupleBytes(c.R.Len(), len(vars)))
+		}
+		return c.R, err
 	}
 	var ferr error
 	switch plan.Algorithm {
 	case AlgChain:
 		if plan.Chain != nil {
-			c := collect()
-			_, ferr = chainalg.RunInto(ctx, qp, plan.Chain, c)
+			c, s := collect()
+			_, ferr = chainalg.RunInto(ctx, qp, plan.Chain, s)
 			if ferr == nil {
-				return c.R, nil
+				return account(c, nil)
 			}
 		} else {
 			// Explicit chain request with no planner-supplied chain: each
 			// part searches its own best good chain.
-			c := collect()
-			_, err := chainalg.RunBestInto(ctx, qp, c)
-			return c.R, err
+			c, s := collect()
+			_, err := chainalg.RunBestInto(ctx, qp, s)
+			return account(c, err)
 		}
 	case AlgSM:
 		// Only planner-chosen SM plans reach a partition (Run forces
 		// explicit AlgSM sequential): the full-instance proof is tight for
 		// the full-instance LLP, so the partition re-plans at its own sizes
 		// and may fall back below.
-		c := collect()
-		_, ferr = smalg.RunAutoInto(ctx, qp, c)
+		c, s := collect()
+		_, ferr = smalg.RunAutoInto(ctx, qp, s)
 		if ferr == nil {
-			return c.R, nil
+			return account(c, nil)
 		}
 	case AlgGenericJoin:
-		c := collect()
-		_, err := wcoj.GenericJoinInto(ctx, qp, wcoj.DefaultOrder(qp), c)
-		return c.R, err
+		c, s := collect()
+		_, err := wcoj.GenericJoinInto(ctx, qp, wcoj.DefaultOrder(qp), s)
+		return account(c, err)
 	case AlgBinary:
-		c := collect()
-		_, err := wcoj.BinaryPlanInto(ctx, qp, nil, c)
-		return c.R, err
+		c, s := collect()
+		_, err := wcoj.BinaryPlanInto(ctx, qp, nil, s)
+		return account(c, err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	// AlgCSMA, plus the fallback chain for planner-chosen chain/SM plans
 	// that failed at this partition's sizes.
-	c := collect()
-	_, err := csma.RunInto(ctx, qp, nil, c)
+	c, s := collect()
+	_, err := csma.RunInto(ctx, qp, nil, s)
 	if err == nil || plan.explicit {
-		return c.R, err
+		return account(c, err)
 	}
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
 	}
-	c = collect()
-	_, err = wcoj.GenericJoinInto(ctx, qp, wcoj.DefaultOrder(qp), c)
-	return c.R, err
+	c, s = collect()
+	_, err = wcoj.GenericJoinInto(ctx, qp, wcoj.DefaultOrder(qp), s)
+	return account(c, err)
 }
 
 // choosePartitionVar picks the variable whose domain is split across the

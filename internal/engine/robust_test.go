@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/fd"
+	"repro/internal/naive"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/scenario"
+	"repro/internal/varset"
+)
+
+// boomQuery is a triangle query R(x,y), S(y,z), T(z,x) with a UDF FD
+// xy → w that panics while fire is true — a stand-in for a buggy
+// user-supplied function.
+func boomQuery(n int, fire *bool) *query.Q {
+	q := query.New("x", "y", "z", "w")
+	r := rel.New("R", 0, 1)
+	s := rel.New("S", 1, 2)
+	tt := rel.New("T", 2, 0)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			r.Add(int64(i), int64(j))
+			s.Add(int64(i), int64(j))
+			tt.Add(int64(i), int64(j))
+		}
+	}
+	q.AddRel(r)
+	q.AddRel(s)
+	q.AddRel(tt)
+	q.FDs.Add(varset.Of(0, 1), varset.Of(3), -1, map[int]fd.UDF{3: func(args []int64) int64 {
+		if *fire {
+			panic("boom: injected UDF failure")
+		}
+		return args[0] + args[1]
+	}})
+	return q
+}
+
+func bind(t *testing.T, q *query.Q) *Bound {
+	t.Helper()
+	p, err := Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestUDFPanicIsolatedSequential: a panicking UDF surfaces as a typed
+// *PanicError from the sequential path, and the same Bound runs clean once
+// the UDF behaves.
+func TestUDFPanicIsolatedSequential(t *testing.T) {
+	fire := true
+	q := boomQuery(8, &fire)
+	b := bind(t, q)
+	_, _, err := b.Run(context.Background(), &Options{Workers: 1})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if !strings.Contains(pe.Error(), "boom") || len(pe.Stack) == 0 {
+		t.Fatalf("panic error lost its payload: %v (stack %d bytes)", pe, len(pe.Stack))
+	}
+	fire = false
+	out, _, err := b.Run(context.Background(), &Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("clean re-run failed: %v", err)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("clean re-run output differs from reference")
+	}
+}
+
+// TestUDFPanicIsolatedParallel: the panic fires inside partition worker
+// goroutines; every worker must recover, siblings must be cancelled, and
+// the caller sees one *PanicError — never a crashed process.
+func TestUDFPanicIsolatedParallel(t *testing.T) {
+	fire := true
+	q := boomQuery(16, &fire)
+	b := bind(t, q)
+	_, _, err := b.Run(context.Background(), &Options{Workers: 4, MinParallelRows: 1})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError from parallel run, got %v", err)
+	}
+	fire = false
+	out, st, err := b.Run(context.Background(), &Options{Workers: 4, MinParallelRows: 1})
+	if err != nil {
+		t.Fatalf("clean re-run failed: %v", err)
+	}
+	if st.Workers != 4 {
+		t.Fatalf("clean re-run did not go parallel (workers=%d)", st.Workers)
+	}
+	if !rel.Equal(out, naive.Evaluate(q)) {
+		t.Fatal("clean re-run output differs from reference")
+	}
+}
+
+// TestMemLimitSequential: a tight MemLimitBytes aborts a streaming run
+// with *MemLimitError; an ample one lets it complete and reports MemBytes.
+func TestMemLimitSequential(t *testing.T) {
+	q := scenario.AGMProduct(16, 1)
+	b := bind(t, q)
+	var c rel.CountSink
+	_, err := b.RunInto(context.Background(), &Options{Workers: 1, MemLimitBytes: 256}, &c)
+	var me *MemLimitError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *MemLimitError, got %v", err)
+	}
+	if me.Used <= me.Limit {
+		t.Fatalf("trip accounting inconsistent: used %d ≤ limit %d", me.Used, me.Limit)
+	}
+	var c2 rel.CountSink
+	st, err := b.RunInto(context.Background(), &Options{Workers: 1, MemLimitBytes: 1 << 30}, &c2)
+	if err != nil {
+		t.Fatalf("ample budget failed: %v", err)
+	}
+	if st.MemBytes <= 0 {
+		t.Fatal("MemBytes not accounted on successful run")
+	}
+}
+
+// TestMemLimitParallel: the shared partition gauge trips across workers
+// and cancels the group.
+func TestMemLimitParallel(t *testing.T) {
+	q := scenario.AGMProduct(24, 1)
+	b := bind(t, q)
+	out, _, err := b.Run(context.Background(), &Options{Workers: 3, MinParallelRows: 1, MemLimitBytes: 512})
+	var me *MemLimitError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *MemLimitError from parallel run, got %v (out=%v)", err, out)
+	}
+	want := naive.Evaluate(q)
+	out, _, err = b.Run(context.Background(), &Options{Workers: 3, MinParallelRows: 1})
+	if err != nil {
+		t.Fatalf("ungoverned re-run failed: %v", err)
+	}
+	if !rel.Equal(out, want) {
+		t.Fatal("re-run output differs from reference")
+	}
+}
+
+// TestInjectedWorkerPanicFailsFast: arm the partition-worker site so one
+// worker panics; the run must fail with the injected panic and the Bound
+// must still produce byte-identical results afterwards.
+func TestInjectedWorkerPanicFailsFast(t *testing.T) {
+	defer faultinject.Reset()
+	q := scenario.AGMProduct(16, 1)
+	b := bind(t, q)
+	want := naive.Evaluate(q)
+
+	faultinject.Arm(faultinject.SitePartitionWorker, faultinject.Fault{Kind: faultinject.KindPanic, Times: 1})
+	_, _, err := b.Run(context.Background(), &Options{Workers: 3, MinParallelRows: 1})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if inj, ok := pe.Value.(faultinject.Injected); !ok || inj.Site != faultinject.SitePartitionWorker {
+		t.Fatalf("panic value %#v is not the injected fault", pe.Value)
+	}
+	faultinject.Reset()
+
+	out, _, err := b.Run(context.Background(), &Options{Workers: 3, MinParallelRows: 1})
+	if err != nil {
+		t.Fatalf("clean re-run failed: %v", err)
+	}
+	if !rel.Identical(out, want) {
+		t.Fatal("clean re-run not byte-identical to reference")
+	}
+}

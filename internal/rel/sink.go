@@ -1,6 +1,10 @@
 package rel
 
-import "slices"
+import (
+	"slices"
+
+	"repro/internal/faultinject"
+)
 
 // Sink receives output rows during query execution, replacing the old
 // materialize-then-return contract: executors emit every result row into a
@@ -104,6 +108,7 @@ type ChanSink struct {
 // Push copies the row and sends it, blocking until the consumer receives it
 // or Stop closes. It reports false — stop the producer — once Stop closes.
 func (s *ChanSink) Push(t Tuple) bool {
+	faultinject.Fire(faultinject.SiteSinkPush)
 	row := append(Tuple(nil), t...)
 	select {
 	case <-s.Stop:

@@ -29,6 +29,7 @@ import (
 	"fmt"
 
 	"repro/internal/expand"
+	"repro/internal/faultinject"
 	"repro/internal/query"
 	"repro/internal/rel"
 	"repro/internal/varset"
@@ -196,7 +197,10 @@ func genericJoin(ctx context.Context, q *query.Q, order []int, sink rel.Sink) (*
 	rec = func(d int, have varset.Set) error {
 		// &-mask instead of %, and == 1 so the very first descent step
 		// already observes a dead context (interval is a power of two).
+		// The fault-injection hook shares the cadence (and its no-op cost,
+		// one atomic load per interval).
 		if ticks++; ticks&(cancelCheckInterval-1) == 1 {
+			faultinject.Fire(faultinject.SiteTrieDescent)
 			if err := ctx.Err(); err != nil {
 				return err
 			}
