@@ -197,6 +197,42 @@ func BenchmarkEngineParallel(b *testing.B) {
 	}
 }
 
+// Skew family: the skew/zipf-hot adversarial instance — four hot hubs that
+// all hash into ONE static partition at 4 workers. The static fork/join
+// scheduler serializes the hot mass on one worker; value-range morsels with
+// stealing spread it. On a single-core runner the wall clocks sit near
+// parity (every flavor runs the same total work) — the scheduling gap is
+// recorded as modeled makespans in BENCH_7.json via engine.ProfileSplits.
+func BenchmarkSkewZipfHot(b *testing.B) {
+	q := scenario.ZipfHot(256, 2)
+	p, err := engine.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := p.Bind(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	flavors := []struct {
+		name string
+		opts *engine.Options
+	}{
+		{"seq", &engine.Options{Workers: 1}},
+		{"static-w4", &engine.Options{Workers: 4, MinParallelRows: 1, StaticPartition: true}},
+		{"morsel-w4", &engine.Options{Workers: 4, MinParallelRows: 1}},
+	}
+	for _, f := range flavors {
+		b.Run(f.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bound.Run(ctx, f.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- micro-benchmarks of the substrates ---
 
 func BenchmarkMicroFDClosure(b *testing.B) {

@@ -2,7 +2,7 @@
 // testing.Benchmark and writes a BENCH_N.json snapshot, so the repo's perf
 // trajectory is recorded machine-readably per PR (see DESIGN.md).
 //
-// Usage: go run ./cmd/benchrecord [-out BENCH_2.json]
+// Usage: go run ./cmd/benchrecord [-out BENCH_7.json]
 package main
 
 import (
@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 
 	"repro/internal/benchkit"
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "BENCH_7.json", "output JSON path")
 	flag.Parse()
 
 	s := benchkit.NewSuite()
@@ -118,6 +119,59 @@ func main() {
 		_, err := bWorst.RunInto(ctx, seqOpts, rel.Limit(&c, 1))
 		return err
 	})
+
+	// Skew family: the skew/zipf-hot adversarial instance (four hot hubs
+	// colliding in one static hash partition at 4 workers). Wall clocks
+	// compare the schedulers' overheads; on a 1-CPU recorder they cannot
+	// show the scheduling gap, so the gap is recorded as modeled makespans
+	// (per-split sequential timings + list scheduling, see
+	// engine.ProfileSplits) — deterministic, and the quantity a W-core
+	// machine's wall clock converges to.
+	bSkew := engineBound(scenario.ZipfHot(1024, 2))
+	skewOpts := func(static bool) *engine.Options {
+		return &engine.Options{Workers: 4, MinParallelRows: 1, StaticPartition: static}
+	}
+	record("skew/zipf-hot/seq", runWith(bSkew, 1))
+	record("skew/zipf-hot/static-w4", func() error {
+		_, _, err := bSkew.Run(ctx, skewOpts(true))
+		return err
+	})
+	record("skew/zipf-hot/morsel-w4", func() error {
+		_, _, err := bSkew.Run(ctx, skewOpts(false))
+		return err
+	})
+	makespan := func(static bool) float64 {
+		// Median of repeated profiles: each split is timed sequentially, so
+		// the model is immune to scheduler noise but not to timer noise.
+		spans := make([]float64, 0, 7)
+		for r := 0; r < 7; r++ {
+			prof, err := bSkew.ProfileSplits(ctx, skewOpts(static), static)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchrecord:", err)
+				os.Exit(1)
+			}
+			spans = append(spans, float64(prof.Makespan(4, !static).Nanoseconds()))
+		}
+		sort.Float64s(spans)
+		return spans[len(spans)/2]
+	}
+	msStatic, msMorsel := makespan(true), makespan(false)
+	for _, e := range []struct {
+		name string
+		ns   float64
+	}{
+		{"skew/zipf-hot/makespan-static-w4", msStatic},
+		{"skew/zipf-hot/makespan-morsel-w4", msMorsel},
+	} {
+		s.Results = append(s.Results, benchkit.BenchResult{Name: e.name, Iterations: 1, NsPerOp: e.ns})
+		fmt.Printf("%-32s %12.0f ns/op (modeled 4-worker makespan)\n", e.name, e.ns)
+	}
+	fmt.Printf("skew/zipf-hot modeled speedup (static ÷ morsel at 4 workers): %.2f×\n", msStatic/msMorsel)
+	if msStatic < 2*msMorsel {
+		fmt.Fprintf(os.Stderr, "benchrecord: morsel scheduling models only %.2f× over static on skew/zipf-hot, want ≥ 2×\n",
+			msStatic/msMorsel)
+		os.Exit(1)
+	}
 
 	if err := s.WriteJSON(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrecord:", err)

@@ -9,7 +9,14 @@
 // admission (a typed fdq.ErrBoundExceeded, after which the bomb client
 // backs off) so the cheap clients keep the machine.
 //
-//	saturate -out BENCH_6.json [-duration 2s] [-clients 8] [-bombs 32]
+//	saturate -out BENCH_6.json [-duration 2s] [-clients 8] [-bombs 32] [-workers N]
+//
+// -workers pins every query's worker-pool size (fdq's (*Q).Workers knob;
+// 0 keeps the default of one worker per core). The overload experiment is
+// about admission, not scheduling, so pinning -workers 1 keeps per-query
+// parallelism from convolving with the client mix on small machines —
+// and on a big box -workers can instead stress the governor while each
+// bomb also fans out morsels.
 //
 // The report records per-phase p50/p99 cheap-query latency and the two
 // headline ratios: ungoverned p99 / unloaded p99 (how badly an open
@@ -82,6 +89,7 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "measured window per phase")
 	clients := flag.Int("clients", 8, "cheap-query client goroutines")
 	bombs := flag.Int("bombs", 32, "bomb client goroutines during overload phases")
+	flag.IntVar(&workers, "workers", 0, "worker-pool size per query (0 = one per core)")
 	out := flag.String("out", "-", "report path, - for stdout")
 	flag.Parse()
 
@@ -164,18 +172,22 @@ func buildCatalog() *fdq.Catalog {
 	return cat
 }
 
+// workers is the -workers flag: the worker-pool size stamped on every
+// query (0 leaves fdq's one-per-core default).
+var workers int
+
 // cheapQuery is the motif a well-behaved tenant runs: a two-hop path over
 // the small edge grid — about a millisecond of work, the scale at which
 // scheduler starvation shows up inside a single query's latency.
 func cheapQuery() *fdq.Q {
-	return fdq.Query().Vars("x", "y", "z").Rel("E", "x", "y").Rel("E", "y", "z")
+	return fdq.Query().Vars("x", "y", "z").Rel("E", "x", "y").Rel("E", "y", "z").Workers(workers)
 }
 
 // bombQuery is the adversarial tenant: the AGM-saturating dense triangle,
 // counted so it is pure CPU with no materialization ceiling.
 func bombQuery() *fdq.Q {
 	return fdq.Query().Vars("x", "y", "z").
-		Rel("R", "x", "y").Rel("S", "y", "z").Rel("T", "z", "x")
+		Rel("R", "x", "y").Rel("S", "y", "z").Rel("T", "z", "x").Workers(workers)
 }
 
 func explainBound(cat *fdq.Catalog, q *fdq.Q) float64 {

@@ -1,0 +1,183 @@
+package fdq_test
+
+import (
+	"context"
+	"runtime"
+	"slices"
+	"testing"
+
+	"repro/fdq"
+)
+
+// skewCatalog builds a triangle catalog whose output mass concentrates on
+// nhubs hot x-values (each contributing fan² rows through a dense y/z
+// block) over bg background triangles — the adversarial shape for a
+// one-static-partition-per-worker scheduler.
+func skewCatalog(t *testing.T, nhubs, fan, bg int, seed uint64) *fdq.Catalog {
+	t.Helper()
+	var r, s, tt [][]fdq.Value
+	for h := 0; h < nhubs; h++ {
+		hub := int64(h * 97)
+		yb, zb := int64(10000+h*2*fan), int64(10000+(h*2+1)*fan)
+		for i := 0; i < fan; i++ {
+			r = append(r, []fdq.Value{hub, yb + int64(i)})
+			tt = append(tt, []fdq.Value{zb + int64(i), hub})
+			for j := 0; j < fan; j++ {
+				s = append(s, []fdq.Value{yb + int64(i), zb + int64(j)})
+			}
+		}
+	}
+	next := func(m int64) int64 {
+		seed = seed*2862933555777941757 + 3037000493
+		return int64(seed>>33) % m
+	}
+	for i := 0; i < bg; i++ {
+		x, y, z := next(500), 20000+next(200), 30000+next(200)
+		r = append(r, []fdq.Value{x, y})
+		s = append(s, []fdq.Value{y, z})
+		tt = append(tt, []fdq.Value{z, x})
+	}
+	cat := fdq.NewCatalog()
+	for name, rows := range map[string][][]fdq.Value{"R": r, "S": s, "T": tt} {
+		if err := cat.Define(name, []string{"a", "b"}, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+// collectWithStats drains a Query iterator and returns its rows and stats.
+func collectWithStats(t *testing.T, sess *fdq.Session, q *fdq.Q) ([][]fdq.Value, *fdq.RunStats) {
+	t.Helper()
+	rows, err := sess.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var out [][]fdq.Value
+	for rows.Next() {
+		out = append(out, append([]fdq.Value(nil), rows.Row()...))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := rows.Stats()
+	if st == nil {
+		t.Fatal("no stats after exhaustion")
+	}
+	return out, st
+}
+
+// TestMorselStatsAndSessionOptions: the default session runs parallel
+// queries through the morsel scheduler and reports its work in RunStats;
+// WithStaticPartition routes the same query through the legacy scheduler
+// (byte-identically, no morsel stats); WithMorselSize refines the grain.
+func TestMorselStatsAndSessionOptions(t *testing.T) {
+	cat := skewCatalog(t, 4, 10, 600, 1)
+	q := func() *fdq.Q { return triangleQuery().Workers(4) }
+
+	morselRows, stM := collectWithStats(t, cat.Session(), q())
+	if stM.Workers != 4 || stM.Morsels <= stM.Workers {
+		t.Fatalf("morsel scheduler not exercised: %+v", stM)
+	}
+
+	staticRows, stS := collectWithStats(t, fdq.NewSession(cat, fdq.WithStaticPartition()), q())
+	if stS.Morsels != 0 || stS.Steals != 0 || stS.AdaptSwitches != 0 {
+		t.Fatalf("static path reported morsel stats: %+v", stS)
+	}
+	if !slices.EqualFunc(morselRows, staticRows, slices.Equal) {
+		t.Fatalf("static and morsel schedulers disagree: %d vs %d rows", len(staticRows), len(morselRows))
+	}
+
+	fineRows, stF := collectWithStats(t, fdq.NewSession(cat, fdq.WithMorselSize(8)), q())
+	if stF.Morsels <= stM.Morsels {
+		t.Fatalf("WithMorselSize(8) produced %d morsels, want more than the default's %d", stF.Morsels, stM.Morsels)
+	}
+	if !slices.EqualFunc(morselRows, fineRows, slices.Equal) {
+		t.Fatal("finer morsels changed the result")
+	}
+}
+
+// TestAdaptUndershootSessionOption: on a sparse instance whose certified
+// bound wildly overestimates the output, an adaptive session switches plans
+// mid-flight exactly once, memoizes the verdict on the cached prepared
+// shape (the second run starts adapted), and a disabled session never
+// switches — all three byte-identical.
+func TestAdaptUndershootSessionOption(t *testing.T) {
+	cat := fdq.NewCatalog()
+	var r, s, tt [][]fdq.Value
+	seed := uint64(9)
+	next := func() int64 {
+		seed = seed*2862933555777941757 + 3037000493
+		return int64(seed>>33) % 256
+	}
+	for i := 0; i < 700; i++ {
+		r = append(r, []fdq.Value{next(), next()})
+		s = append(s, []fdq.Value{next(), next()})
+		tt = append(tt, []fdq.Value{next(), next()})
+	}
+	for name, rows := range map[string][][]fdq.Value{"R": r, "S": s, "T": tt} {
+		if err := cat.Define(name, []string{"a", "b"}, rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := func() *fdq.Q { return triangleQuery().Workers(4) }
+
+	adaptive := fdq.NewSession(cat, fdq.WithAdaptUndershoot(0.5))
+	rows1, st1 := collectWithStats(t, adaptive, q())
+	if st1.AdaptSwitches != 1 {
+		t.Fatalf("first adaptive run: AdaptSwitches = %d, want 1 (%+v)", st1.AdaptSwitches, st1)
+	}
+	rows2, st2 := collectWithStats(t, adaptive, q())
+	if st2.AdaptSwitches != 0 {
+		t.Fatalf("memoized verdict should preempt re-switching: %+v", st2)
+	}
+
+	off, stOff := collectWithStats(t, fdq.NewSession(cat, fdq.WithAdaptUndershoot(-1)), q())
+	if stOff.AdaptSwitches != 0 {
+		t.Fatalf("disabled adaptivity switched anyway: %+v", stOff)
+	}
+	for _, other := range [][][]fdq.Value{rows2, off} {
+		if !slices.EqualFunc(rows1, other, slices.Equal) {
+			t.Fatal("adaptivity changed the result")
+		}
+	}
+}
+
+// TestRowsCloseMidMorselRun closes a morsel-path iterator after one row on
+// hot-key data — morsels still queued, steals possibly in flight — and
+// requires a clean stop with no leaked goroutines, then a full re-run on
+// the same session.
+func TestRowsCloseMidMorselRun(t *testing.T) {
+	cat := skewCatalog(t, 4, 14, 700, 2)
+	sess := cat.Session()
+	q := func() *fdq.Q { return triangleQuery().Workers(4) }
+
+	full, err := sess.Collect(context.Background(), q())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 3; iter++ {
+		rows, err := sess.Query(context.Background(), q())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rows.Next() {
+			t.Fatal("no first row")
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("iteration %d: Close mid-run: %v", iter, err)
+		}
+		settleGoroutines(t, base)
+	}
+
+	got, st := collectWithStats(t, sess, q())
+	if !slices.EqualFunc(full, got, slices.Equal) {
+		t.Fatal("post-close run differs from the pristine answer")
+	}
+	if st.Morsels <= st.Workers {
+		t.Fatalf("post-close run did not use the morsel scheduler: %+v", st)
+	}
+}

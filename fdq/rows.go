@@ -22,6 +22,11 @@ type RunStats struct {
 	MemBytes  int64         // approximate result bytes accounted (8 per value)
 	QueueWait time.Duration // time spent queued behind the governor's semaphore
 	Degraded  bool          // ran in PolicyDegrade mode (LIMIT-k or COUNT-only)
+
+	// Morsel-scheduler detail (zero on sequential and legacy-static runs).
+	Morsels       int // work units the morsel scheduler executed
+	Steals        int // morsels a worker took from another worker's share
+	AdaptSwitches int // mid-flight plan re-derivations (0 once the verdict is memoized)
 }
 
 func runStats(st *engine.Stats, adm *admission) *RunStats {
@@ -29,12 +34,15 @@ func runStats(st *engine.Stats, adm *admission) *RunStats {
 		return nil
 	}
 	rs := &RunStats{
-		Algorithm: string(st.Plan.Algorithm),
-		Workers:   st.Workers,
-		Rows:      st.OutSize,
-		Duration:  st.Duration,
-		MemBytes:  st.MemBytes,
-		LogBound:  math.NaN(),
+		Algorithm:     string(st.Plan.Algorithm),
+		Workers:       st.Workers,
+		Rows:          st.OutSize,
+		Duration:      st.Duration,
+		MemBytes:      st.MemBytes,
+		LogBound:      math.NaN(),
+		Morsels:       st.Morsels,
+		Steals:        st.Steals,
+		AdaptSwitches: st.AdaptSwitches,
 	}
 	if adm != nil {
 		rs.LogBound = adm.logBound

@@ -31,6 +31,10 @@ type Session struct {
 	cap int
 	gov *Governor // nil = ungoverned
 
+	static     bool    // legacy static fork/join partitioning (escape hatch)
+	morselSize int     // morsel sizing override (0 = engine default)
+	undershoot float64 // adaptivity threshold override (0 = engine default, <0 disables)
+
 	mu      sync.Mutex
 	entries map[string]*list.Element // signature → element holding *cacheEntry
 	order   *list.List               // front = most recently used
@@ -75,6 +79,33 @@ func WithPreparedCacheSize(n int) SessionOption {
 // governor may be shared across sessions.
 func WithGovernor(g *Governor) SessionOption {
 	return func(s *Session) { s.gov = g }
+}
+
+// WithStaticPartition makes the session's parallel executions use the
+// legacy static fork/join scheduler (one hash partition per worker)
+// instead of the morsel-driven work-stealing pool. This is a one-release
+// escape hatch while the morsel scheduler beds in — it mirrors the
+// FDQ_STATIC_PARTITION=1 environment override and will be removed with
+// it. Results are byte-identical either way.
+func WithStaticPartition() SessionOption {
+	return func(s *Session) { s.static = true }
+}
+
+// WithMorselSize overrides how many distinct partition-variable values one
+// morsel spans (the engine defaults to 128; values ≤ 0 keep the default).
+// Smaller morsels give the work-stealing pool finer grain to balance
+// skewed instances at the cost of more per-morsel overhead.
+func WithMorselSize(n int) SessionOption {
+	return func(s *Session) { s.morselSize = n }
+}
+
+// WithAdaptUndershoot sets how far (in log2 doublings) a run's projected
+// output must undershoot the planner's certified bound before the
+// remaining morsels switch to a re-derived plan mid-flight. The engine
+// defaults to 3 (≈8× overestimate); pass a negative value to disable
+// mid-flight adaptivity entirely.
+func WithAdaptUndershoot(doublings float64) SessionOption {
+	return func(s *Session) { s.undershoot = doublings }
 }
 
 // NewSession returns a session over the catalog.
@@ -144,6 +175,9 @@ func (s *Session) resolve(q *Q) (*engine.Bound, *engine.Options, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	opts.StaticPartition = s.static
+	opts.MorselSize = s.morselSize
+	opts.AdaptUndershoot = s.undershoot
 	snap := s.cat.snap()
 	sig := q.signature()
 	e := s.entry(sig)

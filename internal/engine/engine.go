@@ -24,6 +24,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -55,6 +56,22 @@ type Options struct {
 	Algorithm       Algorithm // "" or AlgAuto: cost-based planner decides
 	Workers         int       // ≤0: GOMAXPROCS; 1 forces sequential
 	MinParallelRows int       // ≤0: default 2048 total input rows
+	// MorselSize is how many distinct partition-variable values one morsel
+	// covers on the parallel path (≤0: default 128). Smaller morsels level
+	// skew at finer grain; larger morsels amortize per-morsel overhead.
+	MorselSize int
+	// StaticPartition selects the legacy fork/join path that splits the
+	// partition variable's domain into exactly Workers hash parts, with no
+	// stealing and a full barrier before the merge. Kept for one release as
+	// an escape hatch (also switchable process-wide with
+	// FDQ_STATIC_PARTITION=1); the default is the morsel-driven scheduler.
+	StaticPartition bool
+	// AdaptUndershoot is the log2 gap between the plan's certified bound
+	// and the projected output size at which mid-flight adaptivity
+	// re-derives the algorithm/variable order for the remaining morsels
+	// (0: default 3, i.e. adapt when the bound overestimates by ≥8×;
+	// < 0 disables adaptivity). Only planner-chosen plans ever adapt.
+	AdaptUndershoot float64
 	// MemLimitBytes, when > 0, aborts the run with a *MemLimitError once
 	// the approximate bytes of result data accounted — parallel partition
 	// buffers plus rows delivered to the sink — exceed the budget. The
@@ -69,11 +86,16 @@ type Options struct {
 // the outcome.
 type Stats struct {
 	Plan         Plan
-	Workers      int // goroutines that executed partitions (1 = sequential)
+	Workers      int // goroutines that executed partitions (1 = sequential; clamped to the partition variable's distinct-value count)
 	PartitionVar int // variable whose domain was partitioned; -1 sequential
 	Duration     time.Duration
 	OutSize      int   // rows emitted (for a sink-stopped run: including the stopping push)
 	MemBytes     int64 // approximate result bytes accounted (partition buffers + sink deliveries)
+
+	Morsels       int   // morsels scheduled on the morsel-driven path (0 = static or sequential)
+	Steals        int   // morsels a worker took from another worker's share
+	AdaptSwitches int   // mid-flight algorithm/order re-derivations (0 or 1 per run)
+	WorkerMorsels []int // morsels each worker executed (nil off the morsel path)
 }
 
 // Prepared is an analyzed query shape. It wraps the query whose lattice has
@@ -105,9 +127,15 @@ type Bound struct {
 	prep *Prepared
 	q    *query.Q
 
-	mu       sync.Mutex // guards the single-entry partition memo
+	mu       sync.Mutex // guards the single-entry partition/morsel memos below
 	partsKey partKey
 	parts    [][]*rel.Relation
+
+	valsOK     bool // distinct-value memo for the partition variable
+	valsV      int
+	vals       []rel.Value
+	morselsKey morselKey // single-entry morsel-partition memo
+	morsels    [][]*rel.Relation
 }
 
 // Bind attaches an instance to the shape: rels must match the shape's
@@ -140,7 +168,8 @@ func (p *Prepared) Bind(rels []*rel.Relation) (*Bound, error) {
 func (b *Bound) Query() *query.Q { return b.q }
 
 func (o *Options) withDefaults() Options {
-	out := Options{Algorithm: AlgAuto, Workers: 0, MinParallelRows: 2048}
+	out := Options{Algorithm: AlgAuto, Workers: 0, MinParallelRows: 2048,
+		MorselSize: 128, AdaptUndershoot: 3}
 	if o != nil {
 		if o.Algorithm != "" {
 			out.Algorithm = o.Algorithm
@@ -149,12 +178,29 @@ func (o *Options) withDefaults() Options {
 		if o.MinParallelRows > 0 {
 			out.MinParallelRows = o.MinParallelRows
 		}
+		if o.MorselSize > 0 {
+			out.MorselSize = o.MorselSize
+		}
+		out.StaticPartition = o.StaticPartition
+		if o.AdaptUndershoot != 0 {
+			out.AdaptUndershoot = o.AdaptUndershoot
+		}
 		if o.MemLimitBytes > 0 {
 			out.MemLimitBytes = o.MemLimitBytes
 		}
 	}
+	if !out.StaticPartition && staticPartitionEnv() {
+		out.StaticPartition = true
+	}
 	return out
 }
+
+// staticPartitionEnv reports whether FDQ_STATIC_PARTITION=1 selects the
+// legacy static fork/join path process-wide (read once; the escape hatch
+// for the one release the static path is kept).
+var staticPartitionEnv = sync.OnceValue(func() bool {
+	return os.Getenv("FDQ_STATIC_PARTITION") == "1"
+})
 
 // Run plans and executes the bound instance, materializing the full
 // result. With opts nil (or Algorithm AlgAuto) the cost-based planner
@@ -180,9 +226,10 @@ func (b *Bound) Run(ctx context.Context, opts *Options) (*rel.Relation, *Stats, 
 // observed inside every executor's inner loops and at partition
 // boundaries, and aborts with ctx's error.
 //
-// Rows are pushed from the calling goroutine on the sequential path and
-// from the merging goroutine on the parallel path — never concurrently —
-// so the sink needs no locking.
+// Rows are pushed from a single goroutine at a time on every path — the
+// calling goroutine sequentially and on the morsel path's streaming
+// frontier, the merging goroutine on the legacy static path — so the sink
+// needs no locking.
 //
 // Execution is panic-isolated: a panic anywhere in the executors — a
 // user-supplied UDF, a sink, an executor bug — is recovered and returned
@@ -234,7 +281,7 @@ func (b *Bound) RunInto(ctx context.Context, opts *Options, sink rel.Sink) (st *
 		memTripped = func() bool { return t.tripped }
 	}
 	if workers > 1 && b.q.TotalSize() >= o.MinParallelRows {
-		err = b.runParallelInto(ctx, plan, workers, o.MemLimitBytes, st, runSink)
+		err = b.runParallelInto(ctx, plan, workers, &o, st, runSink)
 	} else {
 		if err = ctx.Err(); err == nil {
 			err = runOneInto(ctx, b.q, plan, runSink)

@@ -1,0 +1,440 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/wcoj"
+)
+
+// morselTargetPerWorker is the minimum morsels-per-worker the scheduler
+// aims for: enough granularity that a skewed morsel strands one morsel's
+// worth of work behind a worker, not a worker's whole share.
+const morselTargetPerWorker = 4
+
+// morselCount sizes the schedule: distinct values / MorselSize morsels,
+// floored at morselTargetPerWorker per worker (so stealing has grain to
+// work with) and capped at one morsel per distinct value.
+func morselCount(distinct, workers, morselSize int) int {
+	m := (distinct + morselSize - 1) / morselSize
+	if floor := morselTargetPerWorker * workers; m < floor {
+		m = floor
+	}
+	if m > distinct {
+		m = distinct
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// adaptMinCompleted is how many morsels must complete before the projected
+// output size is trusted enough to trigger adaptivity.
+func adaptMinCompleted(nmorsels int) int {
+	return max(2, nmorsels/8)
+}
+
+// morselKey identifies a memoized morsel partitioning of the bound instance.
+type morselKey struct{ v, n int }
+
+// morselParts returns (building and caching on first use, like partitions)
+// the instance range-partitioned on v into n morsels. The memo holds a
+// single entry, bounding memory at one extra instance copy.
+func (b *Bound) morselParts(v int, vals []rel.Value, n int) [][]*rel.Relation {
+	key := morselKey{v, n}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.morsels != nil && b.morselsKey == key {
+		return b.morsels
+	}
+	p := morselRels(b.q, v, vals, n)
+	b.morselsKey, b.morsels = key, p
+	return p
+}
+
+// morselRels splits the instance into n morsel instances by contiguous
+// ranges of v's sorted distinct-value union: morsel m covers the values
+// vals[m·D/n : (m+1)·D/n), so the ranges are balanced in distinct values
+// and ascending in value order — the property the streaming frontier's
+// ordering argument rests on. Relations without v are shared read-only;
+// a relation containing v is split in one pass (each split is a
+// subsequence of a sorted duplicate-free relation, hence itself sorted
+// and duplicate-free).
+func morselRels(q *query.Q, v int, vals []rel.Value, n int) [][]*rel.Relation {
+	d := len(vals)
+	starts := make([]rel.Value, n)
+	for m := range starts {
+		starts[m] = vals[m*d/n]
+	}
+	// morselOf returns the last morsel whose range starts at or below x;
+	// every stored v-value is in vals, so x ≥ starts[0] always.
+	morselOf := func(x rel.Value) int {
+		return sort.Search(n, func(m int) bool { return starts[m] > x }) - 1
+	}
+	parts := make([][]*rel.Relation, n)
+	for m := range parts {
+		parts[m] = make([]*rel.Relation, len(q.Rels))
+	}
+	for j, r := range q.Rels {
+		c := r.Col(v)
+		if c < 0 {
+			for m := range parts {
+				parts[m][j] = r
+			}
+			continue
+		}
+		split := make([]*rel.Relation, n)
+		for m := range split {
+			split[m] = rel.New(r.Name, r.Attrs...)
+		}
+		for i := 0; i < r.Len(); i++ {
+			row := r.Row(i)
+			split[morselOf(row[c])].AddTuple(row)
+		}
+		for m := range parts {
+			parts[m][j] = split[m]
+		}
+	}
+	return parts
+}
+
+// morselQueue deals contiguous morsel-id ranges to the workers and lets an
+// idle worker steal from the tail of the biggest remaining share. Owners
+// pop their own front — so each worker walks its share in ascending morsel
+// order, feeding the streaming frontier — while thieves take from the back,
+// the work the owner would reach last.
+type morselQueue struct {
+	deques []morselDeque
+	steals atomic.Int64
+}
+
+type morselDeque struct {
+	mu     sync.Mutex
+	lo, hi int // remaining own share: morsel ids [lo, hi)
+}
+
+func newMorselQueue(nmorsels, workers int) *morselQueue {
+	q := &morselQueue{deques: make([]morselDeque, workers)}
+	for w := range q.deques {
+		q.deques[w].lo = w * nmorsels / workers
+		q.deques[w].hi = (w + 1) * nmorsels / workers
+	}
+	return q
+}
+
+// next returns worker w's next morsel: the front of its own share, or —
+// once that drains — a steal from the victim with the most remaining work.
+// ok is false when every share is empty and the worker should exit. A
+// thief that loses the race to the victim's owner (or another thief)
+// simply rescans; with all work pre-dealt, the loop terminates.
+func (q *morselQueue) next(w int) (m int, stolen, ok bool) {
+	d := &q.deques[w]
+	d.mu.Lock()
+	if d.lo < d.hi {
+		m = d.lo
+		d.lo++
+		d.mu.Unlock()
+		return m, false, true
+	}
+	d.mu.Unlock()
+	for {
+		best, bestRem := -1, 0
+		for i := range q.deques {
+			if i == w {
+				continue
+			}
+			di := &q.deques[i]
+			di.mu.Lock()
+			rem := di.hi - di.lo
+			di.mu.Unlock()
+			if rem > bestRem {
+				best, bestRem = i, rem
+			}
+		}
+		if best < 0 {
+			return 0, false, false
+		}
+		db := &q.deques[best]
+		db.mu.Lock()
+		if db.lo < db.hi {
+			db.hi--
+			m = db.hi
+			db.mu.Unlock()
+			q.steals.Add(1)
+			return m, true, true
+		}
+		db.mu.Unlock()
+	}
+}
+
+// morselConfig is the algorithm/order the morsels currently execute with;
+// mid-flight adaptivity publishes a new config for the remaining morsels
+// through an atomic pointer.
+type morselConfig struct {
+	plan  *Plan
+	order []int // generic-join variable order; nil = wcoj.DefaultOrder
+}
+
+// adaptedPlan derives the post-switch plan: generic join under the
+// re-derived variable order, still feeding the shared ProgressStats.
+func adaptedPlan(base *Plan) *Plan {
+	p := *base
+	p.Algorithm = AlgGenericJoin
+	p.Reason = base.Reason + "; re-ordered mid-flight: observed fanout undershot the bound"
+	return &p
+}
+
+// adaptCacheKey memoizes the adaptive verdict per instance sizes in the
+// shape's plan cache (the same keying planAuto uses), so a prepared shape
+// that adapted once starts every later run — on this Bound or any other
+// bound from the same shape at the same sizes — already switched.
+func (b *Bound) adaptCacheKey() string {
+	var key strings.Builder
+	key.WriteString("engine:adapt")
+	for _, r := range b.q.Rels {
+		fmt.Fprintf(&key, ":%d", r.Len())
+	}
+	return key.String()
+}
+
+// runMorselsInto is the morsel-driven scheduler (the default parallel
+// path): v's sorted distinct-value union is range-partitioned into nm ≫
+// workers morsels, a fixed pool pulls them from a work-stealing queue, and
+// the per-morsel sorted runs are merged into sink.
+//
+// Ordering soundness, extending runParallelInto's disjointness argument:
+// morsel ranges are contiguous and ascending in v, so for any two morsels
+// m < m′, every v-value of m is strictly below every v-value of m′. Output
+// rows are sorted lexicographically on ascending variable ids; when v is
+// variable 0 — the output's first column — a row of morsel m therefore
+// sorts strictly before every row of morsel m′: the morsel runs are
+// disjoint, totally ordered blocks whose concatenation in morsel order is
+// exactly the sequential output. That licenses the streaming frontier: the
+// moment the least not-yet-emitted morsel completes, its run is streamed
+// (completed higher morsels wait their turn), so emission starts after the
+// globally-least pending morsel rather than after a full barrier, and a
+// stopping sink cancels the remaining morsels. When v > 0 rows from
+// different morsels interleave in output order, so the scheduler falls
+// back to a barrier and a tournament merge (rel.MergeSortedInto) over all
+// runs — still byte-identical, just without early emission.
+//
+// Mid-flight adaptivity: each completed morsel updates the projected
+// output size (outRows·nm/completed, a uniform extrapolation over
+// value-balanced ranges); once enough morsels completed, a projection
+// undershooting the plan's certified 2^LogBound by ≥ AdaptUndershoot
+// doublings re-derives the variable order for the remaining morsels from
+// the observed per-variable fanout the instrumented descents accumulated
+// (wcoj.ObservedOrder). The switch is sound because every order produces
+// the identical sorted run for a morsel; it is memoized in the shape's
+// plan cache so later runs at the same sizes start adapted
+// (prepared-state safe). Only generic-join plans adapt: the undershoot
+// signal means the certified bound is loose, not that a different
+// algorithm is cheaper, and yanking the chain/SM/CSMA machines onto
+// generic join measured as a 12× pessimization on Fig1Skew (their bound
+// looseness is priced into setup, not enumeration). Explicit algorithm
+// requests never adapt.
+func (b *Bound) runMorselsInto(ctx context.Context, plan *Plan, v int, vals []rel.Value, workers int, o *Options, st *Stats, sink rel.Sink) error {
+	adaptEnabled := !plan.explicit && o.AdaptUndershoot >= 0 &&
+		plan.Algorithm == AlgGenericJoin &&
+		!math.IsNaN(plan.LogBound) && !math.IsInf(plan.LogBound, 0)
+	ps := wcoj.NewProgressStats(b.q.K)
+	var cfg atomic.Pointer[morselConfig]
+	adaptKey := b.adaptCacheKey()
+	adapted := false
+	if adaptEnabled {
+		if cached, ok := b.q.PlanCache(adaptKey); ok {
+			cfg.Store(&morselConfig{plan: adaptedPlan(plan), order: cached.([]int)})
+			adapted = true
+		}
+	}
+	if cfg.Load() == nil {
+		cfg.Store(&morselConfig{plan: plan})
+	}
+
+	// Grain is algorithm-aware: generic join's per-morsel marginal cost is
+	// proportional to the morsel's own work, so it affords fine morsels. The
+	// chain/SM/CSMA machines pay O(total-input) setup per run (closure
+	// expansion and projection indexes — including shared relations the
+	// split does not shrink), so fine grain multiplies setup: their schedule
+	// is capped at one morsel per worker, the same setup bill as the static
+	// scheduler, keeping value-range splits, stealing, and the streaming
+	// frontier (adaptivity only ever re-orders generic-join plans, so this
+	// decision is stable across runs of a shape).
+	nm := morselCount(len(vals), workers, o.MorselSize)
+	if plan.Algorithm != AlgGenericJoin && nm > workers {
+		nm = workers
+	}
+	if nm < workers {
+		workers = nm // defensive; the caller's clamp makes this rare
+	}
+	parts := b.morselParts(v, vals, nm)
+	st.Workers = workers
+	st.PartitionVar = v
+	st.Morsels = nm
+	st.WorkerMorsels = make([]int, workers)
+
+	gctx, gcancel := context.WithCancel(ctx)
+	defer gcancel()
+	gauge := &memGauge{limit: o.MemLimitBytes, onTrip: gcancel}
+
+	outs := make([]*rel.Relation, nm)
+	errs := make([]error, workers)
+	completions := make(chan int, nm) // buffered: a worker never blocks reporting
+	queue := newMorselQueue(nm, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if errs[w] != nil && !errors.Is(errs[w], context.Canceled) {
+					gcancel() // fail fast: release the siblings
+				}
+			}()
+			defer recoverToError(&errs[w])
+			faultinject.Fire(faultinject.SitePartitionWorker)
+			for {
+				m, _, ok := queue.next(w)
+				if !ok {
+					return
+				}
+				faultinject.Fire(faultinject.SiteMorselQueue)
+				if err := gctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				qm := b.q.WithFreshRels(parts[m])
+				out, err := runMorsel(gctx, qm, cfg.Load(), gauge, ps)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				outs[m] = out
+				st.WorkerMorsels[w]++
+				completions <- m
+			}
+		}(w)
+	}
+	workersDone := make(chan struct{})
+	go func() { wg.Wait(); close(workersDone) }()
+
+	// The frontier can stream only when v is the output's first column;
+	// output attributes are ascending variable ids, so that is exactly v==0.
+	streamFrontier := v == 0
+	done := make([]bool, nm)
+	next := 0 // least morsel not yet emitted
+	completed, outRows := 0, 0
+	stopped := false
+
+	handle := func(m int) {
+		completed++
+		outRows += outs[m].Len()
+		done[m] = true
+		if adaptEnabled && !adapted && completed >= adaptMinCompleted(nm) && completed < nm {
+			projected := float64(outRows) * float64(nm) / float64(completed)
+			if plan.LogBound-math.Log2(math.Max(projected, 1)) >= o.AdaptUndershoot {
+				order := wcoj.ObservedOrder(b.q, ps)
+				cfg.Store(&morselConfig{plan: adaptedPlan(plan), order: order})
+				b.q.SetPlanCache(adaptKey, order)
+				st.AdaptSwitches++
+				adapted = true
+			}
+		}
+		if streamFrontier && !stopped {
+			for next < nm && done[next] {
+				faultinject.Fire(faultinject.SiteStreamMerge)
+				r := outs[next]
+				for i := 0; i < r.Len(); i++ {
+					if !sink.Push(r.Row(i)) {
+						stopped = true
+						gcancel() // consumer decision: stop the remaining morsels
+						return
+					}
+				}
+				outs[next] = nil // emitted: release the run
+				next++
+			}
+		}
+	}
+
+	for completed < nm {
+		select {
+		case m := <-completions:
+			handle(m)
+			continue
+		case <-workersDone:
+		}
+		break
+	}
+	<-workersDone
+	for len(completions) > 0 {
+		handle(<-completions)
+	}
+	st.MemBytes += gauge.used.Load()
+	st.Steals = int(queue.steals.Load())
+
+	// Error selection mirrors the static path: a real failure beats the
+	// context.Canceled artifacts its group-cancel induced in the siblings;
+	// then the memory gauge; then a sink stop (a consumer decision, not an
+	// error); then the caller's own cancellation.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	if gauge.trip.Load() {
+		return &MemLimitError{Limit: o.MemLimitBytes, Used: gauge.used.Load()}
+	}
+	if stopped {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if !streamFrontier {
+		faultinject.Fire(faultinject.SiteStreamMerge)
+		rel.MergeSortedInto(sink, outs)
+	}
+	return nil
+}
+
+// runMorsel executes one morsel instance under the current config: generic
+// join (planner-chosen or adapted) runs the observed descent so the shared
+// ProgressStats keeps learning; every other algorithm reuses runPartition's
+// per-split fallback chain unchanged.
+func runMorsel(ctx context.Context, qm *query.Q, cfg *morselConfig, gauge *memGauge, ps *wcoj.ProgressStats) (*rel.Relation, error) {
+	if cfg.plan.Algorithm != AlgGenericJoin {
+		return runPartition(ctx, qm, cfg.plan, gauge)
+	}
+	order := cfg.order
+	if order == nil {
+		order = wcoj.DefaultOrder(qm)
+	}
+	vars := qm.AllVars().Members()
+	c := rel.NewCollect("Q", vars...)
+	var s rel.Sink = c
+	if gauge != nil && gauge.limit > 0 {
+		s = &partSink{c: c, g: gauge, rowBytes: tupleBytes(1, len(vars))}
+	}
+	_, err := wcoj.GenericJoinObservedInto(ctx, qm, order, s, ps)
+	if gauge != nil && gauge.limit <= 0 {
+		gauge.add(tupleBytes(c.R.Len(), len(vars)))
+	}
+	return c.R, err
+}

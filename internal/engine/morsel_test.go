@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/paper"
+	"repro/internal/query"
+	"repro/internal/rel"
+)
+
+// hotTriangle builds a triangle instance R(x,y) ⋈ S(y,z) ⋈ T(z,x) whose
+// output mass concentrates on nhubs hot x-values (each contributing fan²
+// result rows through its own dense y/z blocks), over a background of
+// sparse random triangles that widens x's distinct-value domain. The hubs
+// are spaced apart in value order so a range partitioning puts each hub in
+// its own morsel.
+func hotTriangle(nhubs, fan, bg int, seed int64) *query.Q {
+	q := paper.Triangle()
+	R, S, T := q.Rels[0], q.Rels[1], q.Rels[2]
+	for h := 0; h < nhubs; h++ {
+		hub := rel.Value(h * 97)
+		yb := rel.Value(10000 + h*2*fan)
+		zb := rel.Value(10000 + (h*2+1)*fan)
+		for i := 0; i < fan; i++ {
+			R.Add(hub, yb+rel.Value(i))
+			T.Add(zb+rel.Value(i), hub)
+			for j := 0; j < fan; j++ {
+				S.Add(yb+rel.Value(i), zb+rel.Value(j))
+			}
+		}
+	}
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(m int) rel.Value {
+		s = s*2862933555777941757 + 3037000493
+		return rel.Value(s>>33) % rel.Value(m)
+	}
+	for i := 0; i < bg; i++ {
+		x, y, z := next(500), 20000+next(200), 30000+next(200)
+		R.Add(x, y)
+		S.Add(y, z)
+		T.Add(z, x)
+	}
+	for _, r := range q.Rels {
+		r.SortDedup()
+	}
+	return q
+}
+
+// TestMorselQueueLockstepStealBalance drives the work-stealing queue in a
+// deterministic single-threaded lockstep: worker 0 dequeues one "hot"
+// morsel and stalls on it forever, while workers 1..3 keep pulling round-
+// robin. The end-to-end wall balance of a real pool depends on the OS
+// scheduler (meaningless on a 1-CPU CI box), but the queue-level property
+// is deterministic: the stalled worker's share is stolen, every morsel is
+// delivered exactly once, and no worker's morsel count exceeds ~2× the
+// mean.
+func TestMorselQueueLockstepStealBalance(t *testing.T) {
+	const nm, workers = 32, 4
+	q := newMorselQueue(nm, workers)
+	counts := make([]int, workers)
+	seen := make([]bool, nm)
+	take := func(w int) bool {
+		m, _, ok := q.next(w)
+		if !ok {
+			return false
+		}
+		if seen[m] {
+			t.Fatalf("morsel %d delivered twice", m)
+		}
+		seen[m] = true
+		counts[w]++
+		return true
+	}
+	if !take(0) { // worker 0 grabs the hot morsel and never returns
+		t.Fatal("worker 0 got no morsel")
+	}
+	for live := true; live; {
+		live = false
+		for w := 1; w < workers; w++ {
+			if take(w) {
+				live = true
+			}
+		}
+	}
+	for m := range seen {
+		if !seen[m] {
+			t.Fatalf("morsel %d never delivered", m)
+		}
+	}
+	if q.steals.Load() < int64(nm/workers-1) {
+		t.Fatalf("stalled worker's share not stolen: %d steals, counts %v", q.steals.Load(), counts)
+	}
+	mean := nm / workers
+	for w, c := range counts {
+		if c > 2*mean {
+			t.Fatalf("worker %d executed %d morsels, > 2× mean %d (counts %v)", w, c, mean, counts)
+		}
+	}
+}
+
+// TestMorselMatchesSequentialAndStatic checks byte identity across all
+// three execution paths on the hot-key instance, plus morsel stats
+// coherence.
+func TestMorselMatchesSequentialAndStatic(t *testing.T) {
+	q := hotTriangle(4, 8, 300, 1)
+	seq, _ := mustRun(t, q, &Options{Workers: 1})
+	morsel, stM := mustRun(t, q, &Options{Workers: 4, MinParallelRows: 1})
+	static, stS := mustRun(t, q, &Options{Workers: 4, MinParallelRows: 1, StaticPartition: true})
+	identical(t, seq, morsel)
+	identical(t, seq, static)
+
+	if stM.Workers != 4 || stM.Morsels <= stM.Workers {
+		t.Fatalf("morsel path not exercised: %+v", stM)
+	}
+	sum := 0
+	for _, c := range stM.WorkerMorsels {
+		sum += c
+	}
+	if sum != stM.Morsels {
+		t.Fatalf("worker morsel counts %v sum to %d, want %d", stM.WorkerMorsels, sum, stM.Morsels)
+	}
+	if stS.Morsels != 0 || stS.WorkerMorsels != nil {
+		t.Fatalf("static path reported morsel stats: %+v", stS)
+	}
+}
+
+// TestWorkerClampOnNarrowDomain: a partition variable with fewer distinct
+// values than workers must clamp Stats.Workers on both parallel paths
+// (before this fix, surplus workers owned empty partitions and still paid
+// goroutine + sort + merge overhead).
+func TestWorkerClampOnNarrowDomain(t *testing.T) {
+	q := paper.Triangle()
+	R, S, T := q.Rels[0], q.Rels[1], q.Rels[2]
+	for x := 0; x < 3; x++ { // 3 distinct x-values, wide y/z domains
+		for i := 0; i < 40; i++ {
+			y := rel.Value(100 + (x*40+i)%120)
+			z := rel.Value(300 + (x*53+i*7)%120)
+			R.Add(rel.Value(x), y)
+			S.Add(y, z)
+			T.Add(z, rel.Value(x))
+		}
+	}
+	for _, r := range q.Rels {
+		r.SortDedup()
+	}
+	seq, _ := mustRun(t, q, &Options{Workers: 1})
+	for _, static := range []bool{false, true} {
+		out, st := mustRun(t, q, &Options{Workers: 8, MinParallelRows: 1, StaticPartition: static})
+		identical(t, seq, out)
+		if st.PartitionVar != 0 {
+			t.Fatalf("static=%v: expected partition on x (var 0), got %d", static, st.PartitionVar)
+		}
+		if st.Workers > 3 {
+			t.Fatalf("static=%v: workers not clamped to the 3 distinct x-values: %+v", static, st)
+		}
+	}
+}
+
+// TestMorselLimitStreamsPrefix: with the partition variable in output
+// column 0, the streaming frontier emits as morsels complete, so a LIMIT-k
+// sink receives exactly the first k rows of the full output and stops the
+// run without an error.
+func TestMorselLimitStreamsPrefix(t *testing.T) {
+	q := hotTriangle(4, 8, 300, 2)
+	full, _ := mustRun(t, q, &Options{Workers: 1})
+	if full.Len() < 10 {
+		t.Fatalf("instance too small: %d rows", full.Len())
+	}
+	p, err := Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := rel.NewCollect("Q", q.AllVars().Members()...)
+	inner.R.Grow(1) // defeat adoption
+	st, err := b.RunInto(context.Background(), &Options{Workers: 4, MinParallelRows: 1}, rel.Limit(inner, 3))
+	if err != nil {
+		t.Fatalf("limited morsel run failed: %v", err)
+	}
+	if st.OutSize != 3 || inner.R.Len() != 3 {
+		t.Fatalf("limit 3 delivered %d rows (OutSize %d)", inner.R.Len(), st.OutSize)
+	}
+	for i := 0; i < 3; i++ {
+		got, want := inner.R.Row(i), full.Row(i)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("row %d = %v, want the full output's prefix row %v", i, got, want)
+			}
+		}
+	}
+}
+
+// cancelOnPushSink cancels the run's context from inside the first Push —
+// a consumer tearing down mid-stream while morsels are still in flight.
+type cancelOnPushSink struct {
+	cancel context.CancelFunc
+	n      int
+}
+
+func (s *cancelOnPushSink) Push(rel.Tuple) bool {
+	s.n++
+	s.cancel()
+	return true // keep "consuming": the cancellation must stop the run, not the sink
+}
+
+// TestMorselCtxCancelMidStream cancels ctx from the first streamed row and
+// expects the run to surface context.Canceled (not hang, not panic) while
+// workers are mid-flight.
+func TestMorselCtxCancelMidStream(t *testing.T) {
+	q := hotTriangle(4, 8, 300, 3)
+	p, err := Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelOnPushSink{cancel: cancel}
+	_, err = b.RunInto(ctx, &Options{Workers: 4, MinParallelRows: 1}, sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if sink.n == 0 {
+		t.Fatal("sink saw no rows: the frontier never streamed")
+	}
+}
+
+// TestMorselAdaptSwitches: on a sparse triangle the planner's AGM bound
+// overestimates the output by orders of magnitude, so the run adapts
+// mid-flight (once), stays byte-identical, and memoizes the verdict so the
+// next run on the same shape+sizes starts adapted without re-switching.
+func TestMorselAdaptSwitches(t *testing.T) {
+	q := paper.TriangleRandom(64, 300, 9)
+	seq, _ := mustRun(t, q, &Options{Workers: 1})
+
+	p, err := Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &Options{Workers: 4, MinParallelRows: 1, AdaptUndershoot: 0.5}
+	out1, st1, err := b.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, seq, out1)
+	if st1.AdaptSwitches != 1 {
+		t.Fatalf("expected exactly one mid-flight switch, got %+v", st1)
+	}
+	out2, st2, err := b.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, seq, out2)
+	if st2.AdaptSwitches != 0 {
+		t.Fatalf("memoized adaptive verdict should preempt re-switching: %+v", st2)
+	}
+
+	// Disabled adaptivity never switches.
+	out3, st3, err := b.Run(context.Background(), &Options{Workers: 4, MinParallelRows: 1, AdaptUndershoot: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, seq, out3)
+	if st3.AdaptSwitches != 0 {
+		t.Fatalf("AdaptUndershoot<0 must disable adaptivity: %+v", st3)
+	}
+}
+
+// TestProfileSplitsMakespan sanity-checks the modeled-makespan probe: the
+// morsel schedule has many splits, the static schedule exactly `workers`,
+// one worker's makespan is the sequential total, and more workers never
+// model slower than one.
+func TestProfileSplitsMakespan(t *testing.T) {
+	q := hotTriangle(4, 8, 300, 4)
+	p, err := Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Bind(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &Options{Workers: 4, MinParallelRows: 1}
+	morsels, err := b.ProfileSplits(context.Background(), opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := b.ProfileSplits(context.Background(), opts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(static.Durations) != 4 {
+		t.Fatalf("static profile has %d splits, want 4", len(static.Durations))
+	}
+	if len(morsels.Durations) <= len(static.Durations) {
+		t.Fatalf("morsel profile has %d splits, want ≫ 4", len(morsels.Durations))
+	}
+	for _, prof := range []*PartProfile{morsels, static} {
+		if prof.Makespan(1, true) != prof.Total() {
+			t.Fatal("1-worker makespan must equal the sequential total")
+		}
+		if prof.Makespan(4, true) > prof.Total() {
+			t.Fatal("4-worker makespan cannot exceed the sequential total")
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/chainalg"
@@ -18,22 +19,62 @@ import (
 // defaultWorkers is the pool size when Options.Workers ≤ 0.
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// runParallelInto executes the plan by hash-partitioning one variable's
-// domain into `workers` parts, running the planned algorithm on each part
-// with its own working state, and streaming the k-way merge of the
-// per-part outputs into sink.
+// runParallelInto executes the plan by splitting one variable's domain
+// across a worker pool and merging the per-split sorted outputs into sink.
+// Two schedulers implement the split:
 //
-// Soundness: every relation containing the partition variable v is filtered
-// to the rows whose v-value hashes into the part; relations without v are
-// shared read-only. Each output tuple binds exactly one v-value, so it is
-// produced in exactly one part (outputs are disjoint and their union is the
-// sequential output). FD guards containing v stay consistent: a guard
-// lookup that fails in a part can only fail for tuples that also fail the
-// guard's own membership constraint in that part, which no output tuple of
-// the part does. Every executor's per-part output is sorted and
-// deduplicated, and the parts are pairwise disjoint, so the streamed merge
-// (rel.MergeSortedInto) delivers rows byte-identical to — and in the same
-// order as — the sequential execution.
+//   - the morsel-driven scheduler (default, runMorselsInto): the partition
+//     variable's sorted distinct-value union is range-partitioned into many
+//     small morsels pulled by the pool with work stealing, merged by a
+//     streaming frontier or a tournament;
+//   - the legacy static fork/join (Options.StaticPartition): exactly
+//     `workers` hash parts, one per worker, with a full barrier before the
+//     k-way merge (runStaticInto).
+//
+// Soundness, common to both: every relation containing the partition
+// variable v is filtered to a subset of v-values (a hash class or a
+// contiguous value range); relations without v are shared read-only. Each
+// output tuple binds exactly one v-value, so it is produced in exactly one
+// split — splits are pairwise disjoint and their union is the sequential
+// output. FD guards containing v stay consistent: a guard lookup that fails
+// in a split can only fail for tuples that also fail the guard's own
+// membership constraint there, which no output tuple of the split does.
+// Every executor's per-split output is sorted and deduplicated, so merging
+// the splits in sorted order delivers rows byte-identical to — and in the
+// same order as — the sequential execution. The schedulers differ only in
+// how the merge is interleaved with execution; see runMorselsInto for the
+// frontier-streaming refinement of this argument.
+//
+// Worker count is clamped to the partition variable's distinct-value count
+// (surfaced in Stats.Workers): beyond that, extra workers would own empty
+// splits and pay goroutine + merge overhead for nothing. One distinct value
+// (or an empty domain) degrades to the sequential path.
+func (b *Bound) runParallelInto(ctx context.Context, plan *Plan, workers int, o *Options, st *Stats, sink rel.Sink) error {
+	if err := ctx.Err(); err != nil {
+		return err // don't pay the partition split for a dead context
+	}
+	v := choosePartitionVar(b.q, plan)
+	if v < 0 {
+		st.Workers = 1
+		return runOneInto(ctx, b.q, plan, sink)
+	}
+	vals := b.distinctVals(v)
+	if len(vals) < workers {
+		workers = len(vals)
+	}
+	if workers <= 1 {
+		st.Workers = 1
+		return runOneInto(ctx, b.q, plan, sink)
+	}
+	if o.StaticPartition {
+		return b.runStaticInto(ctx, plan, v, workers, o.MemLimitBytes, st, sink)
+	}
+	return b.runMorselsInto(ctx, plan, v, vals, workers, o, st, sink)
+}
+
+// runStaticInto is the legacy fork/join scheduler: the instance is
+// hash-partitioned on v into exactly `workers` parts, each executed by its
+// own goroutine, with a barrier before the k-way streamed merge.
 //
 // The sink can only stop the merge, not the parts: partitions must finish
 // before a globally ordered merge can start, so a LIMIT-k consumer saves
@@ -44,15 +85,7 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // promptly instead of completing doomed work. Worker panics are recovered
 // per goroutine into *PanicError; the first real (non-cancellation) error
 // wins.
-func (b *Bound) runParallelInto(ctx context.Context, plan *Plan, workers int, memLimit int64, st *Stats, sink rel.Sink) error {
-	if err := ctx.Err(); err != nil {
-		return err // don't pay the partition split for a dead context
-	}
-	v := choosePartitionVar(b.q, plan)
-	if v < 0 {
-		st.Workers = 1
-		return runOneInto(ctx, b.q, plan, sink)
-	}
+func (b *Bound) runStaticInto(ctx context.Context, plan *Plan, v, workers int, memLimit int64, st *Stats, sink rel.Sink) error {
 	parts := b.partitions(v, workers)
 	st.Workers = workers
 	st.PartitionVar = v
@@ -242,6 +275,31 @@ func choosePartitionVar(q *query.Q, plan *Plan) int {
 		}
 	}
 	return bestV
+}
+
+// distinctVals returns (memoized on the Bound) the sorted distinct union of
+// variable v's values across every relation containing v. Its length is the
+// worker-clamp ceiling, and the morsel scheduler range-partitions it.
+func (b *Bound) distinctVals(v int) []rel.Value {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.valsOK && b.valsV == v {
+		return b.vals
+	}
+	var vals []rel.Value
+	for _, r := range b.q.Rels {
+		c := r.Col(v)
+		if c < 0 {
+			continue
+		}
+		for i := 0; i < r.Len(); i++ {
+			vals = append(vals, r.Row(i)[c])
+		}
+	}
+	slices.Sort(vals)
+	vals = slices.Compact(vals)
+	b.valsOK, b.valsV, b.vals = true, v, vals
+	return vals
 }
 
 // partKey identifies a memoized partitioning of the bound instance.

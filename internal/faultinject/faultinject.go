@@ -35,6 +35,13 @@ const (
 	// SitePartitionMerge fires on the merging goroutine just before the
 	// k-way partition merge starts streaming.
 	SitePartitionMerge = "engine/partition-merge"
+	// SiteMorselQueue fires on a morsel worker right after it dequeues a
+	// morsel (own share or stolen), before the morsel executes.
+	SiteMorselQueue = "engine/morsel-queue"
+	// SiteStreamMerge fires on the emitting goroutine just before a
+	// completed morsel run (or the final tournament merge) streams into
+	// the sink.
+	SiteStreamMerge = "engine/stream-merge"
 	// SiteSinkPush fires in rel.ChanSink.Push — the streaming delivery
 	// path behind fdq.Rows.
 	SiteSinkPush = "rel/sink-push"
@@ -46,7 +53,7 @@ const (
 // Sites lists every canonical site, in stable order — the oracle's fault
 // matrix iterates this.
 func Sites() []string {
-	return []string{SiteTrieDescent, SitePartitionWorker, SitePartitionMerge, SiteSinkPush, SiteCacheEvict}
+	return []string{SiteTrieDescent, SitePartitionWorker, SitePartitionMerge, SiteMorselQueue, SiteStreamMerge, SiteSinkPush, SiteCacheEvict}
 }
 
 // Kind selects what an armed site does when it fires.

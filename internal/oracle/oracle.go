@@ -30,11 +30,14 @@ import (
 type Config struct {
 	Name      string           `json:"name"`
 	Algorithm engine.Algorithm `json:"algorithm"`
-	Workers   int              `json:"workers"` // 1 sequential, >1 parallel
+	Workers   int              `json:"workers"`          // 1 sequential, >1 parallel
+	Static    bool             `json:"static,omitempty"` // legacy static fork/join instead of morsels
 }
 
 // DefaultConfigs returns the full matrix: every algorithm (the cost-based
-// planner plus each explicit machine) in sequential and parallel flavors.
+// planner plus each explicit machine) sequential, parallel through the
+// morsel work-stealing scheduler, and parallel through the legacy static
+// fork/join scheduler (kept differential while its escape hatch exists).
 func DefaultConfigs() []Config {
 	algs := []engine.Algorithm{
 		engine.AlgAuto, engine.AlgChain, engine.AlgSM,
@@ -45,6 +48,7 @@ func DefaultConfigs() []Config {
 		out = append(out,
 			Config{Name: string(a) + "/seq", Algorithm: a, Workers: 1},
 			Config{Name: string(a) + "/par", Algorithm: a, Workers: 3},
+			Config{Name: string(a) + "/par-static", Algorithm: a, Workers: 3, Static: true},
 		)
 	}
 	return out
@@ -248,6 +252,7 @@ func runConfig(ctx context.Context, res *Result, b *engine.Bound, cfg Config, wa
 		Algorithm:       cfg.Algorithm,
 		Workers:         cfg.Workers,
 		MinParallelRows: 1,
+		StaticPartition: cfg.Static,
 	})
 	cr.Millis = float64(time.Since(t0).Microseconds()) / 1000
 	if err != nil {

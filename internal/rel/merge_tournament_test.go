@@ -1,0 +1,107 @@
+package rel
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randomSortedRuns builds m sorted dedup'd runs of width k with values drawn
+// from a small domain so duplicates collide across runs.
+func randomSortedRuns(rng *rand.Rand, m, k, maxRows, domain int) []*Relation {
+	attrs := make([]int, k)
+	for i := range attrs {
+		attrs[i] = i
+	}
+	srcs := make([]*Relation, m)
+	for s := range srcs {
+		r := New("run", attrs...)
+		rows := rng.Intn(maxRows + 1)
+		for i := 0; i < rows; i++ {
+			row := make(Tuple, k)
+			for j := range row {
+				row[j] = Value(rng.Intn(domain))
+			}
+			r.AddTuple(row)
+		}
+		r.SortDedup()
+		srcs[s] = r
+	}
+	return srcs
+}
+
+// TestMergeTournamentMatchesScan drives the loser-tree body directly against
+// the linear-scan reference (MergeSorted) across source counts on both sides
+// of the delegation threshold, including empty runs and cross-run duplicates.
+func TestMergeTournamentMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []int{1, 2, 3, 7, 8, 9, 16, 33, 100, 257} {
+		for trial := 0; trial < 4; trial++ {
+			for _, k := range []int{1, 3} {
+				srcs := randomSortedRuns(rng, m, k, 20, 12)
+				want := MergeSorted("Q", srcs)
+
+				attrs := srcs[0].Attrs
+				got := NewCollect("Q", attrs...)
+				got.R.Grow(1) // defeat adoption
+				if !mergeTournamentInto(got, srcs, k) {
+					t.Fatalf("m=%d k=%d: collect sink stopped the tournament", m, k)
+				}
+				if !Identical(want, got.R) {
+					t.Fatalf("m=%d k=%d trial=%d: tournament differs from reference:\n got %v\nwant %v",
+						m, k, trial, got.R.Rows(), want.Rows())
+				}
+
+				// The public entry point must agree regardless of which body
+				// the source count selects.
+				got2 := NewCollect("Q", attrs...)
+				got2.R.Grow(1)
+				if !MergeSortedInto(got2, srcs) || !Identical(want, got2.R) {
+					t.Fatalf("m=%d k=%d: MergeSortedInto differs from reference", m, k)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeTournamentEarlyStop checks that a stopping sink halts the
+// tournament merge after exactly the limit, with the rows being the true
+// merged prefix — the property the engine's LIMIT-k path depends on.
+func TestMergeTournamentEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	srcs := randomSortedRuns(rng, 40, 2, 15, 30)
+	want := MergeSorted("Q", srcs)
+	if want.Len() < 5 {
+		t.Fatalf("test setup too small: %d merged rows", want.Len())
+	}
+	for _, n := range []int{1, 3, want.Len(), want.Len() + 5} {
+		inner := NewCollect("Q", srcs[0].Attrs...)
+		inner.R.Grow(1)
+		lim := Limit(inner, n)
+		complete := MergeSortedInto(lim, srcs)
+		wantRows := min(n, want.Len())
+		if inner.R.Len() != wantRows {
+			t.Fatalf("limit %d: got %d rows, want %d", n, inner.R.Len(), wantRows)
+		}
+		if complete != (n > want.Len()) {
+			t.Fatalf("limit %d: complete=%v", n, complete)
+		}
+		for i := 0; i < wantRows; i++ {
+			if !slices.Equal(inner.R.Row(i), want.Row(i)) {
+				t.Fatalf("limit %d: row %d = %v, want %v", n, i, inner.R.Row(i), want.Row(i))
+			}
+		}
+	}
+}
+
+// TestMergeTournamentAllEmpty covers the all-exhausted-from-the-start case.
+func TestMergeTournamentAllEmpty(t *testing.T) {
+	srcs := make([]*Relation, 12)
+	for i := range srcs {
+		srcs[i] = New("e", 0, 1)
+	}
+	var c CountSink
+	if !MergeSortedInto(&c, srcs) || c.N != 0 {
+		t.Fatalf("merging 12 empty runs pushed %d rows, want 0", c.N)
+	}
+}

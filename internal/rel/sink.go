@@ -155,6 +155,10 @@ func Stream(r *Relation, sink Sink) bool {
 // pushed sequence is byte-identical to the sequential execution's output,
 // and a LIMIT-k consumer stops after k rows without touching the rest of
 // the partitions' rows. It reports whether the sink accepted every row.
+//
+// A handful of sources (static partitioning) use a linear per-row scan;
+// many sources (morsel runs) are merged by a loser-tree tournament so the
+// per-row cost is O(log k), not O(k).
 func MergeSortedInto(sink Sink, srcs []*Relation) bool {
 	if len(srcs) == 0 {
 		panic("rel: MergeSortedInto needs at least one source")
@@ -172,6 +176,9 @@ func MergeSortedInto(sink Sink, srcs []*Relation) bool {
 			}
 		}
 		return true
+	}
+	if len(srcs) > mergeScanThreshold {
+		return mergeTournamentInto(sink, srcs, k)
 	}
 	pos := make([]int, len(srcs))
 	last := make(Tuple, k)

@@ -164,6 +164,13 @@ var catalog = []*Family{
 		Build: func(p Params) *query.Q { return ZipfStar(p.Size, p.Seed) },
 	},
 	{
+		Name:  "skew/zipf-hot",
+		Desc:  "triangle with 4 planted hot x-hubs (fan ≈ √Size dense y/z blocks) colliding in one static hash partition, plus Size Zipf background edges — the morsel scheduler's adversarial case",
+		Small: []Params{{Size: 48, Seed: 1}},
+		Full:  []Params{{Size: 256, Seed: 2}},
+		Build: func(p Params) *query.Q { return ZipfHot(p.Size, p.Seed) },
+	},
+	{
 		Name:  "skew/near-product",
 		Desc:  "triangle: dense √Size x √Size product block plus Size/2 uniform noise edges",
 		Small: []Params{{Size: 48, Seed: 1}},

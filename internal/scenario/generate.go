@@ -314,6 +314,91 @@ func ZipfStar(rows int, seed int64) *query.Q {
 	return q
 }
 
+// staticPartOf mirrors the engine's legacy static partitioner's avalanche
+// mixer (engine.partOf) so ZipfHot can plant hub values that provably
+// collide in one static hash partition. Duplicated because scenario cannot
+// import engine (the engine's tests import scenario).
+func staticPartOf(v Value, nparts int) int {
+	h := uint64(v)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(nparts))
+}
+
+// zipfHotHubs picks n values that (a) all hash to the static partition of
+// value 0 — the Zipf head — at `workers` workers, so that partition owns
+// the planted hubs AND the background's hottest keys, and (b) start at
+// dom/8 and sit ≥ dom/n apart, so a value-range split gives the Zipf head
+// and every hub its own morsel.
+func zipfHotHubs(n, workers, dom int) []Value {
+	want := staticPartOf(0, workers)
+	hub := make([]Value, 0, n)
+	for v := Value(dom / 8); len(hub) < n; v++ {
+		if staticPartOf(v, workers) == want &&
+			(len(hub) == 0 || v-hub[len(hub)-1] >= Value(dom/n)) {
+			hub = append(hub, v)
+		}
+	}
+	return hub
+}
+
+// ZipfHot builds the morsel scheduler's adversarial triangle: four planted
+// hot x-hubs, each expanding into a fan×fan dense y/z block (fan ≈ √rows),
+// whose values are chosen to land in the SAME static hash partition at 4
+// workers — a one-partition-per-worker scheduler serializes the entire hot
+// mass on one worker, while value-range morsels with stealing spread it
+// (the hubs are spaced apart in value rank, so each gets its own morsel).
+// rows Zipf(1.3) background edges plus a uniform scaffold widen x's domain
+// so the range partitioning has rank mass between the hubs.
+func ZipfHot(rows int, seed int64) *query.Q {
+	q := graphQuery(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	R, S, T := q.Rels[0], q.Rels[1], q.Rels[2]
+	const hubs, workers = 4, 4
+	fan := 2 * int(math.Sqrt(float64(rows)))
+	if fan < 3 {
+		fan = 3
+	}
+	dom := 64 * hubs // background x-domain; hubs sit at ~even offsets in it
+	hub := zipfHotHubs(hubs, workers, dom)
+	base := Value(10 * dom) // y/z blocks live far above the x domain
+	for h, x := range hub {
+		yb := base + Value(2*h*fan)
+		zb := base + Value((2*h+1)*fan)
+		for i := 0; i < fan; i++ {
+			R.Add(x, yb+Value(i))
+			T.Add(zb+Value(i), x)
+			for j := 0; j < fan; j++ {
+				S.Add(yb+Value(i), zb+Value(j))
+			}
+		}
+	}
+	// Scaffold: evenly spaced x-values whose y partner never joins (y < base
+	// and every S y-value is ≥ base), guaranteeing dense, uniform rank mass
+	// between the hubs whatever the Zipf draw concentrates on.
+	for v := 0; v < dom; v += 4 {
+		R.Add(Value(v), 1)
+	}
+	// Background: Zipf-hot x endpoints, but y/z drawn from their own range —
+	// disjoint from the hub blocks and 4× wider, so hot background x-values
+	// stay light (a heavy background hub sharing a morsel with a planted one
+	// would re-concentrate the mass the morsel split exists to spread).
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.3, 1, uint64(dom-1))
+	bgBase, bgBlk := base+Value(2*fan*hubs), 4*fan*hubs
+	for t := 0; t < rows; t++ {
+		R.Add(Value(z.Uint64()), bgBase+Value(rng.Intn(bgBlk)))
+		S.Add(bgBase+Value(rng.Intn(bgBlk)), bgBase+Value(rng.Intn(bgBlk)))
+		T.Add(bgBase+Value(rng.Intn(bgBlk)), Value(z.Uint64()))
+	}
+	for _, r := range q.Rels {
+		r.SortDedup()
+	}
+	return q
+}
+
 // NearProduct fills the triangle with a dense ⌊√rows⌋² product block plus
 // rows/2 uniform noise edges over a 4× larger domain: the block saturates
 // the AGM bound locally while the noise keeps the instance from being a

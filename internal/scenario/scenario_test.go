@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/naive"
@@ -113,5 +114,62 @@ func TestAGMProductSaturates(t *testing.T) {
 	}
 	if out.Len() != total {
 		t.Fatalf("AGM product output %d != product of domains %d", out.Len(), total)
+	}
+}
+
+// TestZipfHotIsStaticAdversarial pins the property skew/zipf-hot exists
+// for: its planted hubs all hash into ONE static partition at 4 workers
+// (so a one-partition-per-worker scheduler serializes most of the output
+// mass) while sitting far apart in x's value-rank order (so value-range
+// morsels separate them and stealing can spread the mass).
+func TestZipfHotIsStaticAdversarial(t *testing.T) {
+	const hubs, workers = 4, 4
+	q := ZipfHot(48, 1)
+	hub := zipfHotHubs(hubs, workers, 64*hubs)
+	isHub := map[Value]bool{}
+	for _, h := range hub[1:] {
+		if staticPartOf(h, workers) != staticPartOf(hub[0], workers) {
+			t.Fatalf("hubs %v do not collide under the static hash", hub)
+		}
+	}
+	for _, h := range hub {
+		isHub[h] = true
+	}
+
+	// ≥ half the output mass lives on the hub values of x.
+	out := naive.Evaluate(q)
+	hot := 0
+	for i := 0; i < out.Len(); i++ {
+		if isHub[out.Row(i)[0]] {
+			hot++
+		}
+	}
+	if out.Len() == 0 || hot*2 < out.Len() {
+		t.Fatalf("hub mass %d of %d output rows: instance is not hub-dominated", hot, out.Len())
+	}
+
+	// Hubs are spread in rank order: with ≥16 morsels over x's distinct
+	// values, consecutive hubs are more than one morsel span apart.
+	seen := map[Value]bool{}
+	for _, r := range q.Rels {
+		c := r.Col(0)
+		if c < 0 {
+			continue
+		}
+		for i := 0; i < r.Len(); i++ {
+			seen[r.Row(i)[c]] = true
+		}
+	}
+	vals := make([]Value, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	slices.Sort(vals)
+	rank := func(h Value) int { n, _ := slices.BinarySearch(vals, h); return n }
+	span := len(vals) / 16
+	for i := 1; i < len(hub); i++ {
+		if gap := rank(hub[i]) - rank(hub[i-1]); gap <= span {
+			t.Fatalf("hub rank gap %d ≤ morsel span %d (D=%d): hubs share a morsel", gap, span, len(vals))
+		}
 	}
 }

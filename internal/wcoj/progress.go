@@ -1,0 +1,156 @@
+package wcoj
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/varset"
+)
+
+// ProgressStats accumulates the observed search shape of generic-join
+// descents: per variable, how many times the descent reached that variable
+// (visits), how many candidate values the seed relation offered (candidates),
+// and how many survived the intersection + FD checks and were recursed into
+// (matches). Matches/Visits is the observed average fanout — the runtime
+// counterpart of the planner's certified degree bounds, and the signal the
+// engine's mid-flight adaptivity uses to re-derive a variable order for
+// remaining morsels.
+//
+// One ProgressStats is shared by every concurrent morsel descent of a query:
+// all fields are atomics, and each descent batches its counts locally,
+// flushing once per call, so the shared cachelines are touched O(1) times
+// per morsel rather than per trie step.
+type ProgressStats struct {
+	visits  []atomic.Int64
+	cands   []atomic.Int64
+	matches []atomic.Int64
+}
+
+// NewProgressStats returns stats sized for a query over k variables.
+func NewProgressStats(k int) *ProgressStats {
+	return &ProgressStats{
+		visits:  make([]atomic.Int64, k),
+		cands:   make([]atomic.Int64, k),
+		matches: make([]atomic.Int64, k),
+	}
+}
+
+// K returns the variable count the stats were sized for.
+func (p *ProgressStats) K() int { return len(p.visits) }
+
+// Visits returns how many descent nodes extended variable v.
+func (p *ProgressStats) Visits(v int) int64 { return p.visits[v].Load() }
+
+// Candidates returns how many seed candidates were enumerated for v.
+func (p *ProgressStats) Candidates(v int) int64 { return p.cands[v].Load() }
+
+// Matches returns how many bindings of v survived into the next depth.
+func (p *ProgressStats) Matches(v int) int64 { return p.matches[v].Load() }
+
+// AvgFanout returns the observed average number of surviving bindings of v
+// per visiting descent node, or 1 when v was never visited (a variable the
+// order derived via FDs, or one the search never reached).
+func (p *ProgressStats) AvgFanout(v int) float64 {
+	n := p.visits[v].Load()
+	if n == 0 {
+		return 1
+	}
+	return float64(p.matches[v].Load()) / float64(n)
+}
+
+// progressLocal is a descent's private tally, flushed into the shared
+// atomics once when the call returns.
+type progressLocal struct {
+	shared  *ProgressStats
+	visits  []int64
+	cands   []int64
+	matches []int64
+}
+
+func newProgressLocal(shared *ProgressStats, k int) *progressLocal {
+	if shared == nil {
+		return nil
+	}
+	return &progressLocal{
+		shared:  shared,
+		visits:  make([]int64, k),
+		cands:   make([]int64, k),
+		matches: make([]int64, k),
+	}
+}
+
+// flush adds the local tallies into the shared stats.
+func (l *progressLocal) flush() {
+	if l == nil {
+		return
+	}
+	for v := range l.visits {
+		if l.visits[v] != 0 {
+			l.shared.visits[v].Add(l.visits[v])
+		}
+		if l.cands[v] != 0 {
+			l.shared.cands[v].Add(l.cands[v])
+		}
+		if l.matches[v] != 0 {
+			l.shared.matches[v].Add(l.matches[v])
+		}
+	}
+}
+
+// GenericJoinObservedInto is GenericJoinInto with the descent instrumented
+// into ps (which may be shared across concurrent calls; nil degrades to the
+// plain path). The instrumentation only tallies — output is byte-identical
+// to GenericJoinInto.
+func GenericJoinObservedInto(ctx context.Context, q *query.Q, order []int, sink rel.Sink, ps *ProgressStats) (*Stats, error) {
+	if !identityOrder(order) {
+		buf := rel.NewCollect("Q", q.AllVars().Members()...)
+		st, err := genericJoinObserved(ctx, q, order, buf, ps)
+		if err != nil {
+			return st, err
+		}
+		buf.R.SortDedup()
+		rel.Stream(buf.R, sink)
+		return st, nil
+	}
+	return genericJoinObserved(ctx, q, order, sink, ps)
+}
+
+// ObservedOrder derives a variable order from observed fanouts: like
+// DefaultOrder it only schedules a variable once it is stored in a relation
+// or derivable from the prefix, but among the eligible variables it picks
+// the one with the smallest observed average fanout first — bind the most
+// selective variables early so the descent's branching stays narrow. Ties
+// (including the all-unvisited cold start) fall back to ascending variable
+// id, which reproduces DefaultOrder exactly.
+func ObservedOrder(q *query.Q, ps *ProgressStats) []int {
+	covered := q.CoveredVars()
+	order := make([]int, 0, q.K)
+	var have varset.Set
+	for len(order) < q.K {
+		reach := derivableFrom(q, have)
+		picked := -1
+		var pickedFan float64
+		for v := 0; v < q.K; v++ {
+			if have.Contains(v) || !(covered.Contains(v) || reach.Contains(v)) {
+				continue
+			}
+			fan := ps.AvgFanout(v)
+			if picked < 0 || fan < pickedFan {
+				picked, pickedFan = v, fan
+			}
+		}
+		if picked < 0 {
+			for v := 0; v < q.K; v++ {
+				if !have.Contains(v) {
+					picked = v
+					break
+				}
+			}
+		}
+		order = append(order, picked)
+		have = have.Add(picked)
+	}
+	return order
+}
