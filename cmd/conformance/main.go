@@ -59,6 +59,14 @@ type Report struct {
 	FaultPasses int                  `json:"fault_passes,omitempty"`
 	FaultSkips  int                  `json:"fault_skips,omitempty"`
 	Faults      []oracle.FaultResult `json:"faults,omitempty"`
+
+	// Network mode (-network) summary: each scenario runs over a real
+	// loopback socket through fdqd/fdqc and must match the in-process
+	// execution and naive reference byte for byte, typed errors included.
+	NetworkChecks  int                    `json:"network_checks,omitempty"`
+	NetworkPasses  int                    `json:"network_passes,omitempty"`
+	NetworkSkipped int                    `json:"network_skipped,omitempty"`
+	Network        []oracle.NetworkResult `json:"network,omitempty"`
 }
 
 func main() {
@@ -67,6 +75,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-scenario progress to stderr")
 	stable := flag.Bool("stable", false, "zero all timings for a diff-stable committed report")
 	faults := flag.Bool("faults", false, "run the fault-injection matrix instead of the standard one")
+	network := flag.Bool("network", false, "run the network matrix (fdqd over a real socket) instead of the standard one")
 	flag.Parse()
 
 	tier, err := scenario.ParseTier(*tierFlag)
@@ -77,6 +86,10 @@ func main() {
 
 	if *faults {
 		runFaults(tier, *tierFlag, *outFlag, *verbose, *stable)
+		return
+	}
+	if *network {
+		runNetwork(tier, *tierFlag, *outFlag, *verbose, *stable)
 		return
 	}
 
@@ -226,6 +239,73 @@ func runFaults(tier scenario.Tier, tierName, outPath string, verbose, stable boo
 
 	fmt.Fprintf(os.Stderr, "conformance -faults: %d scenarios, %d passed, %d failed, %d cells (%d skips)\n",
 		rep.Scenarios, rep.Passed, rep.Failed, rep.FaultCells, rep.FaultSkips)
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runNetwork drives every tier scenario across a real loopback socket:
+// fdqd server, fdqc client, byte-identity against the in-process and
+// naive executions, typed-error equivalence across the wire. It writes
+// the report and exits non-zero on any failure.
+func runNetwork(tier scenario.Tier, tierName, outPath string, verbose, stable bool) {
+	start := time.Now()
+	rep := Report{Tier: tierName}
+	for _, in := range scenario.Instances(tier) {
+		res := oracle.CheckNetworkInstance(context.Background(), in)
+		rep.Scenarios++
+		if res.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+		if res.Skipped != "" {
+			rep.NetworkSkipped++
+		}
+		for _, c := range res.Checks {
+			rep.NetworkChecks++
+			if c.Status == oracle.StatusPass {
+				rep.NetworkPasses++
+			}
+		}
+		rep.Network = append(rep.Network, res)
+		if verbose {
+			status := "ok"
+			if !res.Pass {
+				status = "FAIL"
+			}
+			if res.Skipped != "" {
+				status = "skip"
+			}
+			fmt.Fprintf(os.Stderr, "%-4s %-40s %d checks %.0fms\n", status, res.Scenario, len(res.Checks), res.Millis)
+			for _, f := range res.Failures {
+				fmt.Fprintf(os.Stderr, "     %s\n", f)
+			}
+		}
+	}
+	rep.Millis = float64(time.Since(start).Microseconds()) / 1000
+	if stable {
+		rep.Millis = 0
+		for i := range rep.Network {
+			rep.Network[i].Millis = 0
+		}
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if outPath == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "conformance -network: %d scenarios, %d passed, %d failed, %d checks (%d scenarios skipped)\n",
+		rep.Scenarios, rep.Passed, rep.Failed, rep.NetworkChecks, rep.NetworkSkipped)
 	if rep.Failed > 0 {
 		os.Exit(1)
 	}

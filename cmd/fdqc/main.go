@@ -1,0 +1,156 @@
+// Command fdqc queries a running fdqd server. The query (vars / rel / fd /
+// degree directives) comes from a .fdq script; row data in the script is
+// ignored — the server's catalog supplies the relations — except in
+// -verify mode, where the full script also runs in-process and the two
+// results are compared byte for byte.
+//
+// Usage:
+//
+//	fdqc -addr localhost:7411 [-tenant name] [-count] [-alg auto] [-limit N] query.fdq
+//	fdqc -addr localhost:7411 -verify full-scenario.fdq   # network vs in-process
+//
+// Rows print tab-separated in the deterministic result order. Typed
+// server refusals (bound/rows/memory exceeded) exit with status 2 and a
+// diagnostic; transport or query errors exit 1.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/fdq"
+	"repro/fdq/fdqc"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7411", "fdqd server address")
+	tenant := flag.String("tenant", "", "admission tenant (empty = server default)")
+	count := flag.Bool("count", false, "COUNT-only: print the cardinality, stream no rows")
+	verify := flag.Bool("verify", false, "also run the script in-process and byte-compare the results")
+	alg := flag.String("alg", "", "override algorithm: auto|chain|sm|csma|generic|binary")
+	limit := flag.Int("limit", 0, "LIMIT-k: stop after N rows")
+	timeout := flag.Duration("timeout", 0, "query deadline (0 = none)")
+	stats := flag.Bool("stats", false, "print server RunStats after the rows")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fdqc [flags] query.fdq")
+		os.Exit(1)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(1, err)
+	}
+	spec, err := fdqc.SpecFromScript(string(src))
+	if err != nil {
+		fatal(1, err)
+	}
+	if *alg != "" {
+		spec.Alg = *alg
+	}
+	if *limit > 0 {
+		spec.Limit = *limit
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	c, err := fdqc.Dial(*addr, fdqc.WithTenant(*tenant))
+	if err != nil {
+		fatal(1, err)
+	}
+	defer c.Close()
+
+	if *count {
+		n, err := c.Count(ctx, spec)
+		if err != nil {
+			fatal(exitCode(err), err)
+		}
+		fmt.Println(n)
+		return
+	}
+
+	got, st, err := c.Collect(ctx, spec)
+	if err != nil {
+		fatal(exitCode(err), err)
+	}
+
+	if *verify {
+		want, err := inProcess(ctx, string(src), spec)
+		if err != nil {
+			fatal(1, fmt.Errorf("in-process reference: %w", err))
+		}
+		if err := compare(got, want); err != nil {
+			fatal(1, fmt.Errorf("network result diverges from in-process: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "verify: %d rows byte-identical to in-process execution\n", len(got))
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	row := make([]string, len(spec.Vars))
+	for _, r := range got {
+		for i, v := range r {
+			row[i] = strconv.FormatInt(v, 10)
+		}
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	if *stats && st != nil {
+		fmt.Fprintf(os.Stderr, "stats: alg=%s workers=%d rows=%d dur=%v queue=%v degraded=%v morsels=%d steals=%d\n",
+			st.Algorithm, st.Workers, st.Rows, st.Duration.Round(time.Microsecond),
+			st.QueueWait.Round(time.Microsecond), st.Degraded, st.Morsels, st.Steals)
+	}
+}
+
+// inProcess runs the script's query against the script's own rows through
+// the public in-process API — the reference the network result must match.
+func inProcess(ctx context.Context, src string, spec *fdqc.QuerySpec) ([][]fdq.Value, error) {
+	cat, _, err := fdq.ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := spec.Query() // same lowered query the server ran
+	if err != nil {
+		return nil, err
+	}
+	return fdq.NewSession(cat).Collect(ctx, q)
+}
+
+func compare(got, want [][]fdq.Value) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d rows vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return fmt.Errorf("row %d: width %d vs %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				return fmt.Errorf("row %d col %d: %d vs %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	return nil
+}
+
+func exitCode(err error) int {
+	if errors.Is(err, fdq.ErrBoundExceeded) || errors.Is(err, fdq.ErrRowsExceeded) || errors.Is(err, fdq.ErrMemoryExceeded) {
+		return 2
+	}
+	return 1
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "fdqc:", err)
+	os.Exit(code)
+}

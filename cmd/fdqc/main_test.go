@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/fdq"
+	"repro/fdq/fdqc"
+)
+
+const triangleScript = `
+vars x y z
+rel R(x, y)
+rel S(y, z)
+rel T(z, x)
+row R 1 2
+row R 2 3
+row S 2 3
+row S 3 1
+row T 3 1
+row T 1 2
+`
+
+func TestInProcessReference(t *testing.T) {
+	spec, err := fdqc.SpecFromScript(triangleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inProcess(context.Background(), triangleScript, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]fdq.Value{{1, 2, 3}, {2, 3, 1}}
+	if err := compare(got, want); err != nil {
+		t.Fatalf("triangle result: %v (got %v)", err, got)
+	}
+	if err := compare(got, [][]fdq.Value{{1, 2, 3}}); err == nil {
+		t.Fatal("compare accepted a row-count mismatch")
+	}
+	if err := compare(got, [][]fdq.Value{{1, 2, 3}, {2, 3, 9}}); err == nil {
+		t.Fatal("compare accepted a value mismatch")
+	}
+	if err := compare([][]fdq.Value{{1}}, [][]fdq.Value{{1, 2}}); err == nil {
+		t.Fatal("compare accepted a width mismatch")
+	}
+}
+
+func TestInProcessBadScript(t *testing.T) {
+	spec := &fdqc.QuerySpec{Vars: []string{"x"}, Rels: []fdqc.RelSpec{{Name: "R", Vars: []string{"x"}}}}
+	if _, err := inProcess(context.Background(), "not a script", spec); err == nil {
+		t.Fatal("malformed script did not fail")
+	}
+}
+
+// Typed governed refusals exit 2 (an admission decision the caller can
+// script against); everything else exits 1.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{&fdq.BoundExceededError{LogBound: 30, Budget: 10}, 2},
+		{&fdq.RowsExceededError{Limit: 5}, 2},
+		{&fdq.MemoryExceededError{Limit: 1, Used: 2}, 2},
+		{errors.New("transport died"), 1},
+		{context.Canceled, 1},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/fdq"
+)
+
+// The governor-spec grammar is operator-facing config; every key and
+// every diagnostic is pinned here. Option values are opaque functions,
+// so valid specs are checked by applying them to a real Governor.
+func TestParseGovSpec(t *testing.T) {
+	valid := []struct {
+		spec string
+		opts int
+	}{
+		{"", 0},
+		{"   ", 0},
+		{"bound=24", 1},
+		{"bound=24,policy=queue", 2},
+		{"policy=reject", 1},
+		{"policy=degrade,degrade=100", 2},
+		{"rows=1000000,mem=64M,timeout=2s", 3},
+		{" bound=10 , policy=queue ", 2},
+	}
+	for _, tc := range valid {
+		opts, err := parseGovSpec(tc.spec)
+		if err != nil {
+			t.Errorf("parseGovSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(opts) != tc.opts {
+			t.Errorf("parseGovSpec(%q) = %d options, want %d", tc.spec, len(opts), tc.opts)
+		}
+		fdq.NewGovernor(opts...) // options must apply cleanly
+	}
+
+	invalid := []struct {
+		spec, diag string
+	}{
+		{"bound", "key=value"},
+		{"bound=abc", "bound"},
+		{"policy=maybe", "reject|queue|degrade"},
+		{"rows=many", "rows"},
+		{"mem=64X", "mem"},
+		{"degrade=no", "degrade"},
+		{"timeout=fast", "timeout"},
+		{"color=red", "unknown key"},
+	}
+	for _, tc := range invalid {
+		if _, err := parseGovSpec(tc.spec); err == nil || !strings.Contains(err.Error(), tc.diag) {
+			t.Errorf("parseGovSpec(%q) = %v, want error mentioning %q", tc.spec, err, tc.diag)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"1024", 1024},
+		{"4K", 4 << 10},
+		{"64M", 64 << 20},
+		{"2G", 2 << 30},
+	}
+	for _, tc := range cases {
+		got, err := parseBytes(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "K", "12Q", "x4M"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestStringListFlag(t *testing.T) {
+	var l stringList
+	for _, v := range []string{"a:bound=1", "b:policy=queue"} {
+		if err := l.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.String(); got != "a:bound=1,b:policy=queue" {
+		t.Fatalf("String() = %q", got)
+	}
+}

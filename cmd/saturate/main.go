@@ -10,6 +10,17 @@
 // backs off) so the cheap clients keep the machine.
 //
 //	saturate -out BENCH_6.json [-duration 2s] [-clients 8] [-bombs 32] [-workers N]
+//	saturate -addr self -out BENCH_8.json   # same experiment over TCP via fdqd
+//
+// -addr switches the harness to network mode: every client and bomb
+// drives its queries across a real TCP connection through fdqd instead
+// of an in-process session pool. "-addr self" serves the saturate
+// catalog from a loopback fdqd inside this process (what BENCH_8.json
+// records); any other value dials an external fdqd that must expose the
+// same relations plus a "governed" tenant holding the budget governor.
+// Governed phases dial as tenant "governed", so admission happens
+// server-side and refusals cross the wire as typed errors that still
+// errors.Is-match fdq.ErrBoundExceeded.
 //
 // -workers pins every query's worker-pool size (fdq's (*Q).Workers knob;
 // 0 keeps the default of one worker per core). The overload experiment is
@@ -31,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
 	"os"
 	"runtime"
 	"sort"
@@ -39,6 +51,8 @@ import (
 	"time"
 
 	"repro/fdq"
+	"repro/fdq/fdqc"
+	"repro/fdq/fdqd"
 )
 
 const (
@@ -70,6 +84,7 @@ type Report struct {
 	GoArch    string  `json:"goarch"`
 	NumCPU    int     `json:"num_cpu"`
 	Recorded  string  `json:"recorded"`
+	Mode      string  `json:"mode"` // "in-process" or "network" (over TCP through fdqd)
 	Clients   int     `json:"cheap_clients"`
 	Bombs     int     `json:"bomb_clients"`
 	Sessions  int     `json:"sessions"`
@@ -90,6 +105,7 @@ func main() {
 	clients := flag.Int("clients", 8, "cheap-query client goroutines")
 	bombs := flag.Int("bombs", 32, "bomb client goroutines during overload phases")
 	flag.IntVar(&workers, "workers", 0, "worker-pool size per query (0 = one per core)")
+	addr := flag.String("addr", "", `network mode: "self" serves a loopback fdqd in-process, anything else dials an external fdqd ("" = in-process sessions)`)
 	out := flag.String("out", "-", "report path, - for stdout")
 	flag.Parse()
 
@@ -102,11 +118,53 @@ func main() {
 	}
 	gov := fdq.NewGovernor(fdq.WithMaxLogBound(budget)) // PolicyReject is the default
 
+	// Network mode: queries cross a real TCP socket through fdqd. The
+	// governed phases dial as tenant "governed", whose server-side
+	// governor holds the same budget the in-process mode would.
+	mode := "in-process"
+	serveAddr := *addr
+	var srv *fdqd.Server
+	if *addr != "" {
+		mode = "network"
+		if *addr == "self" {
+			var err error
+			srv, err = fdqd.New(fdqd.Config{
+				Catalog: cat,
+				Tenants: map[string][]fdq.GovernorOption{
+					"governed": {fdq.WithMaxLogBound(budget)},
+				},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal(err)
+			}
+			go srv.Serve(ln)
+			serveAddr = ln.Addr().String()
+		}
+	}
+	newRunner := func(governed bool) runner {
+		if mode == "network" {
+			tenant := ""
+			if governed {
+				tenant = "governed"
+			}
+			return newNetRunner(serveAddr, tenant, *clients, *bombs)
+		}
+		if governed {
+			return newInprocRunner(cat, gov)
+		}
+		return newInprocRunner(cat, nil)
+	}
+
 	rep := Report{
 		GoVersion:        runtime.Version(),
 		GoArch:           runtime.GOARCH,
 		NumCPU:           runtime.NumCPU(),
 		Recorded:         time.Now().UTC().Format(time.RFC3339),
+		Mode:             mode,
 		Clients:          *clients,
 		Bombs:            *bombs,
 		Sessions:         sessions,
@@ -117,13 +175,27 @@ func main() {
 		TargetGoverned:   5,
 	}
 
-	fmt.Fprintf(os.Stderr, "saturate: cheap bound 2^%.2f, bomb bound 2^%.2f, budget 2^%.0f, %d+%d clients over %d sessions\n",
-		cheapLB, bombLB, budget, *clients, *bombs, sessions)
+	fmt.Fprintf(os.Stderr, "saturate: %s mode, cheap bound 2^%.2f, bomb bound 2^%.2f, budget 2^%.0f, %d+%d clients over %d sessions\n",
+		mode, cheapLB, bombLB, budget, *clients, *bombs, sessions)
 
-	unloaded := runPhase(cat, "unloaded", *duration, *clients, 0, nil)
-	ungoverned := runPhase(cat, "ungoverned-overload", *duration, *clients, *bombs, nil)
-	governed := runPhase(cat, "governed-overload", *duration, *clients, *bombs, gov)
+	phase := func(name string, governed bool, bombs int) Phase {
+		r := newRunner(governed)
+		defer r.close()
+		return runPhase(name, *duration, *clients, bombs, r)
+	}
+	unloaded := phase("unloaded", false, 0)
+	ungoverned := phase("ungoverned-overload", false, *bombs)
+	governed := phase("governed-overload", true, *bombs)
 	rep.Phases = []Phase{unloaded, ungoverned, governed}
+
+	if srv != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			scancel()
+			fatal(fmt.Errorf("fdqd shutdown: %w", err))
+		}
+		scancel()
+	}
 
 	rep.UngovernedP99Ratio = round3(ungoverned.P99Micros / unloaded.P99Micros)
 	rep.GovernedP99Ratio = round3(governed.P99Micros / unloaded.P99Micros)
@@ -190,6 +262,28 @@ func bombQuery() *fdq.Q {
 		Rel("R", "x", "y").Rel("S", "y", "z").Rel("T", "z", "x").Workers(workers)
 }
 
+// cheapSpec and bombSpec are the same two queries in wire form for the
+// network mode (Count sets COUNT mode on a copy client-side).
+func cheapSpec() *fdqc.QuerySpec {
+	return &fdqc.QuerySpec{
+		Vars:    []string{"x", "y", "z"},
+		Rels:    []fdqc.RelSpec{{Name: "E", Vars: []string{"x", "y"}}, {Name: "E", Vars: []string{"y", "z"}}},
+		Workers: workers,
+	}
+}
+
+func bombSpec() *fdqc.QuerySpec {
+	return &fdqc.QuerySpec{
+		Vars: []string{"x", "y", "z"},
+		Rels: []fdqc.RelSpec{
+			{Name: "R", Vars: []string{"x", "y"}},
+			{Name: "S", Vars: []string{"y", "z"}},
+			{Name: "T", Vars: []string{"z", "x"}},
+		},
+		Workers: workers,
+	}
+}
+
 func explainBound(cat *fdq.Catalog, q *fdq.Q) float64 {
 	ex, err := cat.Session().Explain(q)
 	if err != nil {
@@ -198,22 +292,97 @@ func explainBound(cat *fdq.Catalog, q *fdq.Q) float64 {
 	return ex.LogBound
 }
 
-// runPhase measures cheap-query latency for d while bombs (if any) churn,
-// everything running through gov when non-nil. Each client cycles through
-// its own slice of a session pool so the catalog really serves hundreds
-// of concurrent sessions.
-func runPhase(cat *fdq.Catalog, name string, d time.Duration, clients, bombs int, gov *fdq.Governor) Phase {
-	newSession := func() *fdq.Session {
-		if gov != nil {
-			return fdq.NewSession(cat, fdq.WithGovernor(gov))
-		}
-		return cat.Session()
-	}
-	pool := make([]*fdq.Session, sessions)
-	for i := range pool {
-		pool[i] = newSession()
-	}
+// runner is where a phase's queries execute: in this process against a
+// session pool, or across one TCP connection per client through fdqd.
+// The open-loop harness above it is identical either way.
+type runner interface {
+	cheap(ctx context.Context, c, i int) error
+	bomb(ctx context.Context, b, i int) error
+	close()
+}
 
+// inprocRunner cycles each client through its own slice of a session
+// pool so the catalog really serves hundreds of concurrent sessions.
+type inprocRunner struct {
+	pool   []*fdq.Session
+	cheapQ *fdq.Q
+	bombQ  *fdq.Q
+}
+
+func newInprocRunner(cat *fdq.Catalog, gov *fdq.Governor) *inprocRunner {
+	r := &inprocRunner{cheapQ: cheapQuery(), bombQ: bombQuery(), pool: make([]*fdq.Session, sessions)}
+	for i := range r.pool {
+		if gov != nil {
+			r.pool[i] = fdq.NewSession(cat, fdq.WithGovernor(gov))
+		} else {
+			r.pool[i] = cat.Session()
+		}
+	}
+	return r
+}
+
+func (r *inprocRunner) cheap(ctx context.Context, c, i int) error {
+	_, err := r.pool[(c*17+i)%len(r.pool)].Count(ctx, r.cheapQ)
+	return err
+}
+
+func (r *inprocRunner) bomb(ctx context.Context, b, i int) error {
+	_, err := r.pool[(b*31+i)%len(r.pool)].Count(ctx, r.bombQ)
+	return err
+}
+
+func (r *inprocRunner) close() {}
+
+// netRunner holds one dedicated connection per client goroutine (the
+// protocol runs one query at a time per connection) — cheap and bomb
+// latencies include the full wire round trip.
+type netRunner struct {
+	cheapConns []*fdqc.Client
+	bombConns  []*fdqc.Client
+	cheapSpec  *fdqc.QuerySpec
+	bombSpec   *fdqc.QuerySpec
+}
+
+func newNetRunner(addr, tenant string, clients, bombs int) *netRunner {
+	r := &netRunner{cheapSpec: cheapSpec(), bombSpec: bombSpec()}
+	dial := func() *fdqc.Client {
+		c, err := fdqc.Dial(addr, fdqc.WithTenant(tenant))
+		if err != nil {
+			fatal(fmt.Errorf("dial %s: %w", addr, err))
+		}
+		return c
+	}
+	for i := 0; i < clients; i++ {
+		r.cheapConns = append(r.cheapConns, dial())
+	}
+	for i := 0; i < bombs; i++ {
+		r.bombConns = append(r.bombConns, dial())
+	}
+	return r
+}
+
+func (r *netRunner) cheap(ctx context.Context, c, i int) error {
+	_, err := r.cheapConns[c].Count(ctx, r.cheapSpec)
+	return err
+}
+
+func (r *netRunner) bomb(ctx context.Context, b, i int) error {
+	_, err := r.bombConns[b].Count(ctx, r.bombSpec)
+	return err
+}
+
+func (r *netRunner) close() {
+	for _, c := range r.cheapConns {
+		c.Close()
+	}
+	for _, c := range r.bombConns {
+		c.Close()
+	}
+}
+
+// runPhase measures cheap-query latency for d while bombs (if any) churn,
+// everything executing through r.
+func runPhase(name string, d time.Duration, clients, bombs int, r runner) Phase {
 	ctx, cancel := context.WithCancel(context.Background())
 	var bombAttempts, bombRuns, bombRejects int64
 	var wg sync.WaitGroup
@@ -221,11 +390,9 @@ func runPhase(cat *fdq.Catalog, name string, d time.Duration, clients, bombs int
 		wg.Add(1)
 		go func(b int) {
 			defer wg.Done()
-			q := bombQuery()
 			for i := 0; ctx.Err() == nil; i++ {
-				sess := pool[(b*31+i)%len(pool)]
 				atomic.AddInt64(&bombAttempts, 1)
-				_, err := sess.Count(ctx, q)
+				err := r.bomb(ctx, b, i)
 				switch {
 				case err == nil:
 					atomic.AddInt64(&bombRuns, 1)
@@ -254,7 +421,6 @@ func runPhase(cat *fdq.Catalog, name string, d time.Duration, clients, bombs int
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			q := cheapQuery()
 			var mine []time.Duration
 			defer func() {
 				mu.Lock()
@@ -274,8 +440,7 @@ func runPhase(cat *fdq.Catalog, name string, d time.Duration, clients, bombs int
 						return
 					}
 				}
-				sess := pool[(c*17+i)%len(pool)]
-				if _, err := sess.Count(ctx, q); err != nil {
+				if err := r.cheap(ctx, c, i); err != nil {
 					if errors.Is(err, context.Canceled) { // phase ended mid-query
 						return
 					}

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"math"
+	"net"
 	"testing"
 	"time"
 
 	"repro/fdq"
+	"repro/fdq/fdqd"
 )
 
 // TestPhasesMicro drives miniature versions of all three phases: the
@@ -26,20 +29,67 @@ func TestPhasesMicro(t *testing.T) {
 	gov := fdq.NewGovernor(fdq.WithMaxLogBound(budget))
 
 	const d = 150 * time.Millisecond
-	unloaded := runPhase(cat, "unloaded", d, 1, 0, nil)
+	unloaded := runPhase("unloaded", d, 1, 0, newInprocRunner(cat, nil))
 	if unloaded.CheapQueries == 0 || unloaded.P99Micros <= 0 {
 		t.Fatalf("unloaded phase produced no samples: %+v", unloaded)
 	}
-	governed := runPhase(cat, "governed", d, 1, 2, gov)
+	governed := runPhase("governed", d, 1, 2, newInprocRunner(cat, gov))
 	if governed.BombRejections == 0 {
 		t.Fatalf("governor rejected no bombs: %+v", governed)
 	}
 	if governed.BombRuns != 0 {
 		t.Fatalf("governor admitted %d bombs over budget", governed.BombRuns)
 	}
-	ungoverned := runPhase(cat, "ungoverned", d, 1, 2, nil)
+	ungoverned := runPhase("ungoverned", d, 1, 2, newInprocRunner(cat, nil))
 	if ungoverned.BombAttempts == 0 {
 		t.Fatalf("no bombs attempted ungoverned: %+v", ungoverned)
+	}
+}
+
+// TestNetworkPhaseMicro runs a miniature governed phase over a real
+// loopback fdqd, exercising the netRunner path BENCH_8.json records:
+// admission happens server-side and rejections cross the wire.
+func TestNetworkPhaseMicro(t *testing.T) {
+	cat := buildCatalog()
+	budget := math.Ceil(explainBound(cat, cheapQuery())) + 1
+	srv, err := fdqd.New(fdqd.Config{
+		Catalog: cat,
+		Tenants: map[string][]fdq.GovernorOption{
+			"governed": {fdq.WithMaxLogBound(budget)},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-served; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+
+	const d = 150 * time.Millisecond
+	r := newNetRunner(ln.Addr().String(), "governed", 1, 2)
+	governed := runPhase("governed-net", d, 1, 2, r)
+	r.close()
+	if governed.CheapQueries == 0 {
+		t.Fatalf("no cheap queries completed over the wire: %+v", governed)
+	}
+	if governed.BombRejections == 0 {
+		t.Fatalf("no bombs rejected across the wire: %+v", governed)
+	}
+	if governed.BombRuns != 0 {
+		t.Fatalf("server admitted %d bombs over budget", governed.BombRuns)
 	}
 }
 

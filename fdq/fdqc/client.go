@@ -1,0 +1,361 @@
+package fdqc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/fdq"
+)
+
+// DialOption configures a Client.
+type DialOption func(*Client)
+
+// WithTenant sets the admission-control identity sent in the hello frame;
+// the server routes the connection's queries through that tenant's
+// Governor. The empty tenant uses the server's default.
+func WithTenant(name string) DialOption { return func(c *Client) { c.tenant = name } }
+
+// WithIOTimeout bounds each single frame read/write on the socket
+// (default 30s). It is a liveness bound on the peer, not a query
+// deadline — a slow query keeps the connection alive by streaming
+// batches; use context deadlines for query time budgets.
+func WithIOTimeout(d time.Duration) DialOption { return func(c *Client) { c.ioTimeout = d } }
+
+// Client is one connection to an fdqd server. It serves one query at a
+// time (the protocol is strictly request/response with a streamed
+// response); a Client is safe for use by one goroutine at a time, like the
+// Rows it produces.
+type Client struct {
+	tenant    string
+	ioTimeout time.Duration
+
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	writeMu sync.Mutex // serializes frame writes: Rows cancel vs. next Query
+	busy    bool       // a Rows is in flight and owns the read side
+	broken  bool       // protocol desync — the connection is unusable
+}
+
+// Dial connects to an fdqd server and performs the hello exchange.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	c := &Client{ioTimeout: 30 * time.Second}
+	for _, o := range opts {
+		o(c)
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.ioTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("fdqc: dial %s: %w", addr, err)
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	if err := c.writeJSON(FrameHello, Hello{Version: ProtocolVersion, Tenant: c.tenant}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("fdqc: hello: %w", err)
+	}
+	switch t {
+	case FrameHelloAck:
+		var ack HelloAck
+		if err := json.Unmarshal(payload, &ack); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("fdqc: hello ack: %w", err)
+		}
+		if ack.Version != ProtocolVersion {
+			conn.Close()
+			return nil, fmt.Errorf("fdqc: server speaks protocol %d, client %d", ack.Version, ProtocolVersion)
+		}
+		return c, nil
+	case FrameError:
+		var ef ErrorFrame
+		if err := json.Unmarshal(payload, &ef); err == nil {
+			conn.Close()
+			return nil, ef.Err()
+		}
+	}
+	conn.Close()
+	return nil, fmt.Errorf("fdqc: unexpected %c frame in hello exchange", t)
+}
+
+// Close closes the connection. A Rows still in flight fails its next read.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) writeJSON(t FrameType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("fdqc: encode %c frame: %w", t, err)
+	}
+	return c.writeFrame(t, payload)
+}
+
+func (c *Client) writeFrame(t FrameType, payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.ioTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+	}
+	if err := WriteFrame(c.bw, t, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Client) readFrame() (FrameType, []byte, error) {
+	if c.ioTimeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.ioTimeout))
+	}
+	return ReadFrame(c.br)
+}
+
+// Query ships the spec and returns a Rows streaming the result. The
+// context governs the query: cancelling it sends a cancel frame so the
+// server-side executor stops promptly, and the iterator then surfaces
+// ctx's error (mirroring fdq.Rows). Only one query may be in flight per
+// connection; Close (or drain to exhaustion) the Rows before the next.
+func (c *Client) Query(ctx context.Context, spec *QuerySpec) (*Rows, error) {
+	if c.broken {
+		return nil, errors.New("fdqc: connection is broken by an earlier protocol error")
+	}
+	if c.busy {
+		return nil, errors.New("fdqc: a query is already in flight on this connection")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.writeJSON(FrameQuery, spec); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	c.busy = true
+	r := &Rows{
+		c:       c,
+		cols:    append([]string(nil), spec.Vars...),
+		parent:  ctx,
+		unwatch: func() {},
+	}
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		var once sync.Once
+		r.unwatch = func() { once.Do(func() { close(stop) }) }
+		go func() {
+			select {
+			case <-ctx.Done():
+				r.sendCancel()
+			case <-stop:
+			}
+		}()
+	}
+	return r, nil
+}
+
+// Rows iterates a streamed query result with the fdq.Rows contract:
+// Next/Scan/Err/Close, deterministic row order, Close propagating to a
+// server-side cancellation. Stats returns the server's RunStats after
+// exhaustion. A Rows is used by one goroutine at a time.
+type Rows struct {
+	c       *Client
+	cols    []string
+	parent  context.Context
+	unwatch func() // stops the context watcher goroutine
+
+	pending    []fdq.Value // decoded rows not yet consumed, row-major
+	cur        []fdq.Value
+	done       bool
+	closed     bool // Close was called before the terminal frame arrived
+	closeErr   error
+	cancelOnce sync.Once
+	err        error
+	stats      *fdq.RunStats
+	count      int
+}
+
+// sendCancel ships one cancel frame, once, ignoring write errors (the
+// read side surfaces any real connection failure).
+func (r *Rows) sendCancel() {
+	r.cancelOnce.Do(func() { _ = r.c.writeFrame(FrameCancel, nil) })
+}
+
+// finish records the terminal state and releases the connection.
+func (r *Rows) finish(err error, stats *StatsFrame) {
+	r.done = true
+	r.cur = nil
+	r.unwatch()
+	r.c.busy = false
+	r.err = err
+	if stats != nil {
+		r.stats = stats.Stats
+		if r.stats != nil {
+			r.stats.LogBound = FloatOf(stats.LogBound)
+		}
+		r.count = stats.Count
+	}
+}
+
+// fail marks both the iterator and the connection dead: after a transport
+// or protocol error mid-stream, frame boundaries are unknowable.
+func (r *Rows) fail(err error) {
+	r.c.broken = true
+	r.finish(err, nil)
+}
+
+// Next advances to the next row, reporting false on exhaustion, error, or
+// close (check Err to distinguish).
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	width := len(r.cols)
+	for len(r.pending) == 0 {
+		t, payload, err := r.c.readFrame()
+		if err != nil {
+			r.fail(fmt.Errorf("fdqc: read stream: %w", err))
+			return false
+		}
+		switch t {
+		case FrameBatch:
+			vals, err := DecodeBatch(payload, width)
+			if err != nil {
+				r.fail(err)
+				return false
+			}
+			r.pending = vals
+		case FrameStats:
+			var sf StatsFrame
+			if err := json.Unmarshal(payload, &sf); err != nil {
+				r.fail(fmt.Errorf("fdqc: stats frame: %w", err))
+				return false
+			}
+			r.finish(nil, &sf)
+			return false
+		case FrameError:
+			var ef ErrorFrame
+			if err := json.Unmarshal(payload, &ef); err != nil {
+				r.fail(fmt.Errorf("fdqc: error frame: %w", err))
+				return false
+			}
+			r.finish(ef.Err(), nil)
+			return false
+		default:
+			r.fail(fmt.Errorf("fdqc: unexpected %c frame mid-stream", t))
+			return false
+		}
+	}
+	r.cur = r.pending[:width:width]
+	r.pending = r.pending[width:]
+	return true
+}
+
+// Columns returns the column names, in Vars order.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Row returns the current row (valid until the next Next call).
+func (r *Rows) Row() []fdq.Value { return r.cur }
+
+// Scan copies the current row into dest, one pointer per column.
+func (r *Rows) Scan(dest ...*fdq.Value) error {
+	if r.cur == nil {
+		return fmt.Errorf("fdqc: Scan called without a current row")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("fdqc: Scan got %d destinations for %d columns", len(dest), len(r.cur))
+	}
+	for i, d := range dest {
+		*d = r.cur[i]
+	}
+	return nil
+}
+
+// Err returns the query error, meaningful after Next returned false or
+// after Close. Like fdq.Rows, a consumer stopping early is not an error:
+// the remote cancellation produced by Close's own cancel frame is
+// suppressed unless the caller's context was already cancelled when Close
+// ran (snapshotted at close time — a parent cancelled after a clean Close
+// cannot retroactively make it an error).
+func (r *Rows) Err() error {
+	if !r.done {
+		return nil
+	}
+	if r.closed && errors.Is(r.err, context.Canceled) && r.closeErr == nil {
+		return nil
+	}
+	return r.err
+}
+
+// Close stops the remote executor promptly (a cancel frame), drains the
+// stream to its terminal frame so the connection is reusable, and returns
+// the query error, if any (its own cancellation is not one). Idempotent
+// and safe after exhaustion.
+func (r *Rows) Close() error {
+	if r.done {
+		return r.Err()
+	}
+	r.closed = true
+	r.closeErr = nil
+	if r.parent != nil {
+		r.closeErr = r.parent.Err() // snapshot: Close-time truth
+	}
+	r.sendCancel()
+	for !r.done {
+		if !r.Next() {
+			break
+		}
+	}
+	r.pending = nil
+	return r.Err()
+}
+
+// Stats returns the server-reported execution statistics, available once
+// the iterator is exhausted or closed without transport failure.
+func (r *Rows) Stats() *fdq.RunStats {
+	if !r.done {
+		return nil
+	}
+	return r.stats
+}
+
+// Count runs a COUNT-only query: no rows cross the wire, only the
+// cardinality (and stats).
+func (c *Client) Count(ctx context.Context, spec *QuerySpec) (int, error) {
+	s := *spec
+	s.Count = true
+	r, err := c.Query(ctx, &s)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	for r.Next() {
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return r.count, nil
+}
+
+// Collect runs the query and gathers the whole result in memory.
+func (c *Client) Collect(ctx context.Context, spec *QuerySpec) ([][]fdq.Value, *fdq.RunStats, error) {
+	r, err := c.Query(ctx, spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer r.Close()
+	var out [][]fdq.Value
+	for r.Next() {
+		out = append(out, append([]fdq.Value(nil), r.Row()...))
+	}
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, r.Stats(), nil
+}

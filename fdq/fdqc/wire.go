@@ -1,0 +1,255 @@
+// Package fdqc is the network client for fdqd, the fdq query server: it
+// dials a server, ships query descriptions over a small length-prefixed
+// binary protocol, and exposes the streamed result through a Rows iterator
+// with the same Next/Scan/Err/Close contract as fdq.Rows — Close (or
+// cancelling the query context) propagates to a server-side context
+// cancellation, so the remote executor stops promptly.
+//
+// The package also defines the wire protocol itself (frames, query specs,
+// the typed-error envelope); the server side in fdq/fdqd imports these
+// definitions, so client and server cannot drift apart. See DESIGN.md,
+// "Wire protocol", for the frame layout and semantics.
+package fdqc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/fdq"
+)
+
+// ProtocolVersion is negotiated in the hello exchange; a server refuses
+// clients whose major version it does not speak.
+const ProtocolVersion = 1
+
+// MaxFrame is the default cap on one frame's encoded size. It bounds the
+// memory a malicious or confused peer can make the other side allocate;
+// row streams chunk into batches well under it.
+const MaxFrame = 16 << 20
+
+// FrameType tags each frame on the wire.
+type FrameType byte
+
+// Frame types. Client→server: hello, query, cancel. Server→client:
+// hello-ack, row batch, stats (terminal success), error (terminal failure).
+const (
+	FrameHello    FrameType = 'H' // JSON Hello
+	FrameHelloAck FrameType = 'h' // JSON HelloAck
+	FrameQuery    FrameType = 'Q' // JSON QuerySpec
+	FrameCancel   FrameType = 'C' // empty: cancel the in-flight query
+	FrameBatch    FrameType = 'B' // binary row batch (uvarint count, varint values)
+	FrameStats    FrameType = 'S' // JSON StatsFrame: the query succeeded
+	FrameError    FrameType = 'E' // JSON ErrorFrame: the query (or handshake) failed
+)
+
+// WriteFrame writes one frame: a little-endian uint32 length (of the type
+// byte plus payload) followed by the type byte and payload.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("fdqc: frame %c payload %d bytes exceeds the %d-byte frame cap", t, len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, enforcing the MaxFrame cap.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("fdqc: frame length %d outside [1, %d]", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return FrameType(buf[0]), buf[1:], nil
+}
+
+// Hello opens every connection, client first.
+type Hello struct {
+	Version int    `json:"version"`
+	Tenant  string `json:"tenant,omitempty"` // admission-control identity; "" = the default tenant
+}
+
+// HelloAck is the server's accept.
+type HelloAck struct {
+	Version int    `json:"version"`
+	Server  string `json:"server,omitempty"` // human-readable server identity
+}
+
+// StatsFrame terminates a successful query: the run's stats, the certified
+// bound carried NaN-safely as a pointer, and the count for COUNT-mode
+// queries (which stream no row batches).
+type StatsFrame struct {
+	Stats    *fdq.RunStats `json:"stats,omitempty"`
+	LogBound *float64      `json:"log_bound,omitempty"` // nil = NaN (no certified bound)
+	Count    int           `json:"count,omitempty"`
+}
+
+// AppendBatch encodes rows (each width wide, row-major in vals) onto buf as
+// a batch payload: a uvarint row count followed by one varint per value.
+func AppendBatch(buf []byte, vals []fdq.Value, width int) []byte {
+	if width <= 0 {
+		return binary.AppendUvarint(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(vals)/width))
+	for _, v := range vals {
+		buf = binary.AppendVarint(buf, v)
+	}
+	return buf
+}
+
+// DecodeBatch decodes a batch payload into row-major values, checking that
+// the batch is width-aligned.
+func DecodeBatch(payload []byte, width int) ([]fdq.Value, error) {
+	n, k := binary.Uvarint(payload)
+	if k <= 0 {
+		return nil, fmt.Errorf("fdqc: malformed batch header")
+	}
+	payload = payload[k:]
+	if width <= 0 || n > uint64(MaxFrame) {
+		return nil, fmt.Errorf("fdqc: batch of %d rows at width %d", n, width)
+	}
+	vals := make([]fdq.Value, 0, int(n)*width)
+	for i := uint64(0); i < n*uint64(width); i++ {
+		v, k := binary.Varint(payload)
+		if k <= 0 {
+			return nil, fmt.Errorf("fdqc: batch truncated at value %d", i)
+		}
+		payload = payload[k:]
+		vals = append(vals, v)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("fdqc: %d trailing bytes after batch", len(payload))
+	}
+	return vals, nil
+}
+
+// Error codes of the wire envelope. The typed codes reconstruct the fdq
+// sentinel errors client-side, so errors.Is works identically on both ends
+// of the connection.
+const (
+	CodeBoundExceeded  = "bound-exceeded"  // → *fdq.BoundExceededError
+	CodeRowsExceeded   = "rows-exceeded"   // → *fdq.RowsExceededError
+	CodeMemoryExceeded = "memory-exceeded" // → *fdq.MemoryExceededError
+	CodePanicked       = "panicked"        // → *fdq.PanicError
+	CodeCanceled       = "canceled"        // → context.Canceled
+	CodeDeadline       = "deadline"        // → context.DeadlineExceeded
+	CodeBadQuery       = "bad-query"       // query spec did not resolve/validate
+	CodeUnavailable    = "unavailable"     // server is draining or refused the handshake
+	CodeInternal       = "internal"        // anything else
+)
+
+// ErrorFrame is the typed-error envelope: a code for errors.Is dispatch
+// plus the numbers the corresponding fdq error type carries, so the
+// client-side reconstruction is payload-exact, not just sentinel-exact.
+type ErrorFrame struct {
+	Code     string   `json:"code"`
+	Msg      string   `json:"msg,omitempty"`
+	LogBound *float64 `json:"log_bound,omitempty"` // bound-exceeded: certified bound (nil = NaN)
+	Budget   *float64 `json:"budget,omitempty"`    // bound-exceeded: admission budget
+	RowLimit int      `json:"row_limit,omitempty"` // rows-exceeded: the row budget
+	MemLimit int64    `json:"mem_limit,omitempty"` // memory-exceeded: the byte budget
+	MemUsed  int64    `json:"mem_used,omitempty"`  // memory-exceeded: accounted bytes
+}
+
+// EncodeError maps an execution error onto the wire envelope. Typed fdq
+// errors and context terminations keep their identity; everything else
+// crosses as CodeInternal with the message.
+func EncodeError(err error) ErrorFrame {
+	var re0 *RemoteError
+	if errors.As(err, &re0) {
+		// Already an envelope-shaped error (e.g. the server tagging a bad
+		// query spec): keep its code.
+		return ErrorFrame{Code: re0.Code, Msg: re0.Msg}
+	}
+	var be *fdq.BoundExceededError
+	if errors.As(err, &be) {
+		return ErrorFrame{Code: CodeBoundExceeded, Msg: be.Error(),
+			LogBound: FloatPtr(be.LogBound), Budget: FloatPtr(be.Budget)}
+	}
+	var re *fdq.RowsExceededError
+	if errors.As(err, &re) {
+		return ErrorFrame{Code: CodeRowsExceeded, Msg: re.Error(), RowLimit: re.Limit}
+	}
+	var me *fdq.MemoryExceededError
+	if errors.As(err, &me) {
+		return ErrorFrame{Code: CodeMemoryExceeded, Msg: me.Error(), MemLimit: me.Limit, MemUsed: me.Used}
+	}
+	var pe *fdq.PanicError
+	if errors.As(err, &pe) {
+		// The reason crosses the wire; the server-side stack stays in the
+		// server's logs — it is an operator's datum, not a client's.
+		return ErrorFrame{Code: CodePanicked, Msg: pe.Reason}
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return ErrorFrame{Code: CodeCanceled, Msg: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrorFrame{Code: CodeDeadline, Msg: err.Error()}
+	}
+	return ErrorFrame{Code: CodeInternal, Msg: err.Error()}
+}
+
+// Err reconstructs the error the envelope describes. The typed fdq errors
+// come back as their real types (errors.Is/As both work); CodeCanceled and
+// CodeDeadline come back wrapping context.Canceled/DeadlineExceeded.
+func (e *ErrorFrame) Err() error {
+	switch e.Code {
+	case "":
+		return nil
+	case CodeBoundExceeded:
+		return &fdq.BoundExceededError{LogBound: FloatOf(e.LogBound), Budget: FloatOf(e.Budget)}
+	case CodeRowsExceeded:
+		return &fdq.RowsExceededError{Limit: e.RowLimit}
+	case CodeMemoryExceeded:
+		return &fdq.MemoryExceededError{Limit: e.MemLimit, Used: e.MemUsed}
+	case CodePanicked:
+		return &fdq.PanicError{Reason: e.Msg}
+	case CodeCanceled:
+		return fmt.Errorf("fdqc: remote: %w", context.Canceled)
+	case CodeDeadline:
+		return fmt.Errorf("fdqc: remote: %w", context.DeadlineExceeded)
+	}
+	return &RemoteError{Code: e.Code, Msg: e.Msg}
+}
+
+// RemoteError is a server-reported failure with no richer client-side
+// type: a bad query, a draining server, an internal error.
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("fdqc: remote %s: %s", e.Code, e.Msg) }
+
+// FloatPtr carries a float across the JSON wire NaN-safely: NaN (fdq's
+// "no certified bound") becomes nil, which JSON renders as an absent
+// field. FloatOf inverts it.
+func FloatPtr(f float64) *float64 {
+	if math.IsNaN(f) {
+		return nil
+	}
+	return &f
+}
+
+func FloatOf(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}

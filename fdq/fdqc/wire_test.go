@@ -1,0 +1,218 @@
+package fdqc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/fdq"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []struct {
+		t FrameType
+		p []byte
+	}{
+		{FrameHello, []byte(`{"version":1}`)},
+		{FrameCancel, nil},
+		{FrameBatch, AppendBatch(nil, []fdq.Value{1, -2, 3, 4, math.MaxInt64, math.MinInt64}, 3)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f.t, f.p); err != nil {
+			t.Fatalf("WriteFrame(%c): %v", f.t, err)
+		}
+	}
+	for i, f := range frames {
+		ft, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if ft != f.t {
+			t.Fatalf("frame #%d: type %c, want %c", i, ft, f.t)
+		}
+		if !bytes.Equal(payload, f.p) && !(len(payload) == 0 && len(f.p) == 0) {
+			t.Fatalf("frame #%d: payload %q, want %q", i, payload, f.p)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes after reading all frames", buf.Len())
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	err := WriteFrame(&bytes.Buffer{}, FrameBatch, make([]byte, MaxFrame))
+	if err == nil {
+		t.Fatal("WriteFrame accepted a payload over the frame cap")
+	}
+}
+
+func TestReadFrameRejectsBadLength(t *testing.T) {
+	for _, n := range []uint32{0, MaxFrame + 1} {
+		var buf bytes.Buffer
+		buf.Write([]byte{byte(n), byte(n >> 8), byte(n >> 16), byte(n >> 24)})
+		if _, _, err := ReadFrame(&buf); err == nil {
+			t.Fatalf("ReadFrame accepted frame length %d", n)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	vals := []fdq.Value{0, 1, -1, 1 << 40, -(1 << 40), 63, -64, 7, 9}
+	payload := AppendBatch(nil, vals, 3)
+	got, err := DecodeBatch(payload, 3)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("DecodeBatch = %v, want %v", got, vals)
+	}
+	// Empty batch at positive width.
+	got, err = DecodeBatch(AppendBatch(nil, nil, 2), 2)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v %v", got, err)
+	}
+}
+
+func TestDecodeBatchRejectsMisaligned(t *testing.T) {
+	payload := AppendBatch(nil, []fdq.Value{1, 2, 3, 4}, 2)
+	// Reading at the wrong width must fail, not silently re-shard rows.
+	if _, err := DecodeBatch(payload, 3); err == nil {
+		t.Fatal("DecodeBatch accepted a batch at the wrong width")
+	}
+	if _, err := DecodeBatch(payload[:len(payload)-1], 2); err == nil {
+		t.Fatal("DecodeBatch accepted a truncated batch")
+	}
+	if _, err := DecodeBatch(append(payload, 0), 2); err == nil {
+		t.Fatal("DecodeBatch accepted trailing bytes")
+	}
+}
+
+// TestErrorEnvelopeRoundTrip checks that every typed error crosses the
+// wire with identity (errors.Is on both sentinels and context errors) and
+// payload (the numbers the typed errors carry) intact.
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		in   error
+		is   error
+		want error // nil = compare against in via errors.As on the concrete type
+	}{
+		{"bound", &fdq.BoundExceededError{LogBound: 12.5, Budget: 8}, fdq.ErrBoundExceeded, nil},
+		{"bound-nan", &fdq.BoundExceededError{LogBound: math.NaN(), Budget: 8}, fdq.ErrBoundExceeded, nil},
+		{"rows", &fdq.RowsExceededError{Limit: 1000}, fdq.ErrRowsExceeded, nil},
+		{"memory", &fdq.MemoryExceededError{Limit: 1 << 20, Used: 1 << 21}, fdq.ErrMemoryExceeded, nil},
+		{"panic", &fdq.PanicError{Reason: "boom", Stack: "goroutine 1 [running]"}, fdq.ErrPanicked, nil},
+		{"canceled", fmt.Errorf("wrapped: %w", context.Canceled), context.Canceled, nil},
+		{"deadline", context.DeadlineExceeded, context.DeadlineExceeded, nil},
+		{"plain", errors.New("something else"), nil, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := EncodeError(tc.in)
+			out := env.Err()
+			if tc.is != nil && !errors.Is(out, tc.is) {
+				t.Fatalf("round-tripped error %v does not match sentinel %v", out, tc.is)
+			}
+			switch in := tc.in.(type) {
+			case *fdq.BoundExceededError:
+				var be *fdq.BoundExceededError
+				if !errors.As(out, &be) {
+					t.Fatalf("no *BoundExceededError in %v", out)
+				}
+				sameFloat := func(a, b float64) bool { return a == b || (math.IsNaN(a) && math.IsNaN(b)) }
+				if !sameFloat(be.LogBound, in.LogBound) || !sameFloat(be.Budget, in.Budget) {
+					t.Fatalf("payload drifted: got %+v want %+v", be, in)
+				}
+			case *fdq.RowsExceededError:
+				var re *fdq.RowsExceededError
+				if !errors.As(out, &re) || re.Limit != in.Limit {
+					t.Fatalf("payload drifted: got %v want %+v", out, in)
+				}
+			case *fdq.MemoryExceededError:
+				var me *fdq.MemoryExceededError
+				if !errors.As(out, &me) || me.Limit != in.Limit || me.Used != in.Used {
+					t.Fatalf("payload drifted: got %v want %+v", out, in)
+				}
+			case *fdq.PanicError:
+				var pe *fdq.PanicError
+				if !errors.As(out, &pe) || pe.Reason != in.Reason {
+					t.Fatalf("payload drifted: got %v want %+v", out, in)
+				}
+				if pe.Stack != "" {
+					t.Fatal("server-side stack leaked across the wire")
+				}
+			default:
+				if tc.is == nil {
+					var re *RemoteError
+					if !errors.As(out, &re) || re.Code != CodeInternal || !strings.Contains(re.Msg, tc.in.Error()) {
+						t.Fatalf("plain error crossed as %v", out)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSpecScriptRoundTrip(t *testing.T) {
+	src := `
+vars x y z u
+rel R(x, y)
+rel S(y, z)
+fd x z -> u via sum
+fd y -> z guard S
+degree R: x -> x y max 4
+row R 1 2
+`
+	spec, err := SpecFromScript(src)
+	if err != nil {
+		t.Fatalf("SpecFromScript: %v", err)
+	}
+	want := &QuerySpec{
+		Vars: []string{"x", "y", "z", "u"},
+		Rels: []RelSpec{{Name: "R", Vars: []string{"x", "y"}}, {Name: "S", Vars: []string{"y", "z"}}},
+		FDs: []FDSpec{
+			{From: []string{"x", "z"}, To: []string{"u"}, Via: "sum"},
+			{Guard: "S", From: []string{"y"}, To: []string{"z"}},
+		},
+		Degrees: []DegreeSpec{{Guard: "R", X: []string{"x"}, Y: []string{"x", "y"}, Max: 4}},
+	}
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("SpecFromScript = %+v\nwant %+v", spec, want)
+	}
+	// The spec must lower onto the builder without error.
+	q, err := spec.Query()
+	if err != nil {
+		t.Fatalf("spec.Query: %v", err)
+	}
+	if err := q.Err(); err != nil {
+		t.Fatalf("builder error: %v", err)
+	}
+}
+
+func TestSpecQueryRejectsGuardPlusVia(t *testing.T) {
+	spec := &QuerySpec{
+		Vars: []string{"x", "y"},
+		Rels: []RelSpec{{Name: "R", Vars: []string{"x", "y"}}},
+		FDs:  []FDSpec{{Guard: "R", From: []string{"x"}, To: []string{"y"}, Via: "sum"}},
+	}
+	if _, err := spec.Query(); err == nil {
+		t.Fatal("spec with both guard and via was accepted")
+	}
+}
+
+func TestSpecQueryRejectsUnknownBuiltin(t *testing.T) {
+	spec := &QuerySpec{
+		Vars: []string{"x", "y"},
+		Rels: []RelSpec{{Name: "R", Vars: []string{"x", "y"}}},
+		FDs:  []FDSpec{{From: []string{"x"}, To: []string{"y"}, Via: "no-such-udf"}},
+	}
+	if _, err := spec.Query(); err == nil {
+		t.Fatal("spec with unknown builtin was accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package fdqd
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// HTTPHandler returns the observability sidecar: GET /healthz answers
+// "ok" (or "draining" with 503 once Shutdown began, so load balancers
+// stop routing before the listener closes), and GET /metrics serves the
+// counters and histograms in the Prometheus text exposition format.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.metrics.WriteTo(w)
+	})
+	return mux
+}

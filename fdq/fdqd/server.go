@@ -1,0 +1,498 @@
+// Package fdqd is the fdq network server: it owns a catalog, a session per
+// tenant (each behind its own bound-governed admission Governor), and
+// streams query results to concurrent fdqc clients over the length-prefixed
+// frame protocol defined in fdq/fdqc. Admission refusals cross the wire as
+// typed error frames, so a client-side errors.Is(err, fdq.ErrBoundExceeded)
+// behaves exactly as it would in process.
+//
+// Lifecycle: New validates the config, Serve accepts until Shutdown, and
+// Shutdown drains gracefully — the listener closes, idle connections are
+// dropped, in-flight queries finish streaming until the drain context
+// expires, then everything is force-cancelled.
+package fdqd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/fdq"
+	"repro/fdq/fdqc"
+)
+
+// Config describes a server. Catalog is required; everything else has
+// serviceable defaults.
+type Config struct {
+	// Catalog is the relation store queries run against.
+	Catalog *fdq.Catalog
+
+	// DefaultGovernor configures the governor of the default tenant (the
+	// empty tenant name, and any tenant not listed in Tenants).
+	DefaultGovernor []fdq.GovernorOption
+
+	// Tenants configures one governor per named tenant. Clients pick their
+	// tenant in the hello frame; each tenant's queries share that tenant's
+	// admission semaphore, budgets, and policy.
+	Tenants map[string][]fdq.GovernorOption
+
+	// SessionOptions applies to every tenant session (cache size, morsel
+	// scheduler tuning, ...). Governors come from the tenant config.
+	SessionOptions []fdq.SessionOption
+
+	// IOTimeout bounds each frame write and each mid-handshake read
+	// (default 30s). IdleTimeout bounds how long a connection may sit
+	// between queries (default 5m).
+	IOTimeout   time.Duration
+	IdleTimeout time.Duration
+
+	// BatchRows is the row count per batch frame (default 256).
+	BatchRows int
+
+	// Name is the identity reported in the hello ack.
+	Name string
+
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// tenantState is one tenant's session; the governor (and its admission
+// queue) lives inside it.
+type tenantState struct {
+	name string
+	sess *fdq.Session
+}
+
+// Server is a running fdqd instance. Create with New.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+
+	defaultTenant *tenantState
+	tenants       map[string]*tenantState
+
+	baseCtx   context.Context // queries derive from this; force-shutdown cancels it
+	baseStop  context.CancelFunc
+	draining  atomic.Bool
+	listeners struct {
+		sync.Mutex
+		ls map[net.Listener]struct{}
+	}
+	conns struct {
+		sync.Mutex
+		m map[*serverConn]struct{}
+	}
+	wg sync.WaitGroup
+}
+
+// New builds a server from the config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Catalog == nil {
+		return nil, errors.New("fdqd: config needs a catalog")
+	}
+	if cfg.IOTimeout <= 0 {
+		cfg.IOTimeout = 30 * time.Second
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 256
+	}
+	if cfg.Name == "" {
+		cfg.Name = "fdqd"
+	}
+	s := &Server{cfg: cfg, tenants: map[string]*tenantState{}}
+	s.baseCtx, s.baseStop = context.WithCancel(context.Background())
+	s.listeners.ls = map[net.Listener]struct{}{}
+	s.conns.m = map[*serverConn]struct{}{}
+	s.defaultTenant = s.newTenant("", cfg.DefaultGovernor)
+	for name, opts := range cfg.Tenants {
+		if name == "" {
+			return nil, errors.New("fdqd: the default tenant is configured via DefaultGovernor, not Tenants[\"\"]")
+		}
+		s.tenants[name] = s.newTenant(name, opts)
+	}
+	return s, nil
+}
+
+// newTenant builds the tenant's session with a governor whose admission
+// observer feeds the server metrics.
+func (s *Server) newTenant(name string, govOpts []fdq.GovernorOption) *tenantState {
+	opts := append(append([]fdq.GovernorOption(nil), govOpts...),
+		fdq.WithAdmissionObserver(s.metrics.observeAdmission))
+	sessOpts := append([]fdq.SessionOption{fdq.WithGovernor(fdq.NewGovernor(opts...))},
+		s.cfg.SessionOptions...)
+	return &tenantState{name: name, sess: fdq.NewSession(s.cfg.Catalog, sessOpts...)}
+}
+
+// tenant resolves a hello's tenant name; unknown names fall back to the
+// default tenant (admission still applies — the default governor's).
+func (s *Server) tenant(name string) *tenantState {
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	return s.defaultTenant
+}
+
+// Metrics exposes the server's counters (live; also served by HTTPHandler).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until the listener fails or Shutdown
+// closes it; it returns nil on a drain-initiated stop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.listeners.Lock()
+	if s.draining.Load() {
+		s.listeners.Unlock()
+		ln.Close()
+		return errors.New("fdqd: server is shut down")
+	}
+	s.listeners.ls[ln] = struct{}{}
+	s.listeners.Unlock()
+	defer func() {
+		s.listeners.Lock()
+		delete(s.listeners.ls, ln)
+		s.listeners.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		sc := &serverConn{s: s, conn: conn}
+		s.conns.Lock()
+		s.conns.m[sc] = struct{}{}
+		s.conns.Unlock()
+		s.metrics.OpenConns.Add(1)
+		s.metrics.ConnsTotal.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.conns.Lock()
+				delete(s.conns.m, sc)
+				s.conns.Unlock()
+				s.metrics.OpenConns.Add(-1)
+			}()
+			sc.serve()
+		}()
+	}
+}
+
+// Shutdown drains the server: listeners close (Serve returns), idle
+// connections drop immediately, and in-flight queries keep streaming until
+// they finish or ctx expires — at which point every remaining query is
+// cancelled and every connection closed. Shutdown returns nil on a clean
+// drain and ctx.Err() if it had to force.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.listeners.Lock()
+	for ln := range s.listeners.ls {
+		ln.Close()
+	}
+	s.listeners.Unlock()
+	// Drop idle connections; busy ones finish their in-flight query (the
+	// handler re-checks draining after each query and closes).
+	s.conns.Lock()
+	for sc := range s.conns.m {
+		if !sc.busy.Load() {
+			sc.conn.Close()
+		}
+	}
+	s.conns.Unlock()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		s.baseStop()
+		return nil
+	case <-ctx.Done():
+	}
+	// Force: cancel every in-flight query and close every connection.
+	s.baseStop()
+	s.conns.Lock()
+	for sc := range s.conns.m {
+		sc.conn.Close()
+	}
+	s.conns.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// serverConn is one client connection's state.
+type serverConn struct {
+	s    *Server
+	conn net.Conn
+	busy atomic.Bool // a query is streaming (drain waits for it)
+}
+
+type inFrame struct {
+	t       fdqc.FrameType
+	payload []byte
+	err     error
+}
+
+func (sc *serverConn) writeFrame(t fdqc.FrameType, payload []byte) error {
+	sc.conn.SetWriteDeadline(time.Now().Add(sc.s.cfg.IOTimeout))
+	return fdqc.WriteFrame(sc.conn, t, payload)
+}
+
+func (sc *serverConn) writeJSON(t fdqc.FrameType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return sc.writeFrame(t, payload)
+}
+
+func (sc *serverConn) writeError(err error) error {
+	return sc.writeJSON(fdqc.FrameError, fdqc.EncodeError(err))
+}
+
+// serve runs the connection: hello exchange, then a query loop. A
+// dedicated goroutine owns every read (so a cancel frame — or a client
+// disconnect — is seen even while the handler is busy streaming rows);
+// the handler owns every write.
+func (sc *serverConn) serve() {
+	s := sc.s
+	// Hello exchange under the IO timeout.
+	sc.conn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
+	t, payload, err := fdqc.ReadFrame(sc.conn)
+	if err != nil {
+		return
+	}
+	if t != fdqc.FrameHello {
+		sc.writeJSON(fdqc.FrameError, fdqc.ErrorFrame{Code: fdqc.CodeBadQuery,
+			Msg: fmt.Sprintf("expected hello, got %c frame", t)})
+		return
+	}
+	var hello fdqc.Hello
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		sc.writeJSON(fdqc.FrameError, fdqc.ErrorFrame{Code: fdqc.CodeBadQuery, Msg: "malformed hello"})
+		return
+	}
+	if hello.Version != fdqc.ProtocolVersion {
+		sc.writeJSON(fdqc.FrameError, fdqc.ErrorFrame{Code: fdqc.CodeUnavailable,
+			Msg: fmt.Sprintf("protocol %d unsupported (server speaks %d)", hello.Version, fdqc.ProtocolVersion)})
+		return
+	}
+	if s.draining.Load() {
+		sc.writeJSON(fdqc.FrameError, fdqc.ErrorFrame{Code: fdqc.CodeUnavailable, Msg: "server is draining"})
+		return
+	}
+	tenant := s.tenant(hello.Tenant)
+	if err := sc.writeJSON(fdqc.FrameHelloAck, fdqc.HelloAck{Version: fdqc.ProtocolVersion, Server: s.cfg.Name}); err != nil {
+		return
+	}
+
+	// Read loop: all subsequent reads flow through this channel. The
+	// handler may return without draining it, so every send selects
+	// against readStop — a bare send would strand the reader (and the
+	// handler's readerDone wait) forever.
+	frames := make(chan inFrame)
+	readStop := make(chan struct{})
+	readerDone := make(chan struct{})
+	defer func() {
+		close(readStop)
+		sc.conn.Close() // unblock a reader parked in ReadFrame
+		<-readerDone
+	}()
+	go func() {
+		defer close(readerDone)
+		defer close(frames)
+		for {
+			t, payload, err := fdqc.ReadFrame(sc.conn)
+			select {
+			case frames <- inFrame{t, payload, err}:
+			case <-readStop:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	for {
+		// Idle: wait for the next query under the idle deadline.
+		sc.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		f, ok := <-frames
+		if !ok || f.err != nil {
+			return
+		}
+		switch f.t {
+		case fdqc.FrameQuery:
+		case fdqc.FrameCancel:
+			continue // stray cancel racing a finished query: benign
+		default:
+			sc.writeJSON(fdqc.FrameError, fdqc.ErrorFrame{Code: fdqc.CodeBadQuery,
+				Msg: fmt.Sprintf("unexpected %c frame between queries", f.t)})
+			return
+		}
+		if s.draining.Load() {
+			sc.writeJSON(fdqc.FrameError, fdqc.ErrorFrame{Code: fdqc.CodeUnavailable, Msg: "server is draining"})
+			return
+		}
+		var spec fdqc.QuerySpec
+		if err := json.Unmarshal(f.payload, &spec); err != nil {
+			sc.writeJSON(fdqc.FrameError, fdqc.ErrorFrame{Code: fdqc.CodeBadQuery, Msg: "malformed query spec"})
+			return
+		}
+		sc.busy.Store(true)
+		// Long queries own the read side: lift the idle deadline so a
+		// cancel frame can arrive whenever the client sends one.
+		sc.conn.SetReadDeadline(time.Time{})
+		ok = sc.runQuery(tenant, &spec, frames)
+		sc.busy.Store(false)
+		if !ok {
+			return
+		}
+		if s.draining.Load() {
+			return
+		}
+	}
+}
+
+// runQuery executes one query and streams its result; it reports whether
+// the connection remains usable for another query.
+func (sc *serverConn) runQuery(tenant *tenantState, spec *fdqc.QuerySpec, frames chan inFrame) bool {
+	s := sc.s
+	start := time.Now()
+	qctx, qcancel := context.WithCancel(s.baseCtx)
+	defer qcancel()
+
+	// Watch the read side while streaming: a cancel frame, a protocol
+	// violation, or a disconnect all cancel the executor promptly.
+	watchStop := make(chan struct{})
+	watchExit := make(chan struct{})
+	connBroken := false
+	go func() {
+		defer close(watchExit)
+		select {
+		case f, ok := <-frames:
+			if ok && f.err == nil && f.t == fdqc.FrameCancel {
+				qcancel()
+				return
+			}
+			connBroken = true // disconnect or protocol violation
+			qcancel()
+		case <-watchStop:
+		}
+	}()
+	finishWatch := func() {
+		close(watchStop)
+		<-watchExit
+	}
+
+	rows, n, err := sc.execute(qctx, tenant, spec)
+	dur := time.Since(start)
+	finishWatch()
+	streamed := n
+	if spec.Count {
+		streamed = 0 // COUNT mode crosses no row frames
+	}
+	if connBroken {
+		s.metrics.observeQuery(dur, streamed, errors.Join(err, errors.New("client went away")))
+		return false
+	}
+	s.metrics.observeQuery(dur, streamed, err)
+	if err != nil {
+		return sc.writeError(err) == nil
+	}
+	var sf fdqc.StatsFrame
+	if rows != nil {
+		if st := rows.Stats(); st != nil {
+			lb := st.LogBound
+			sf.Stats = st
+			sf.LogBound = fdqc.FloatPtr(lb)
+		}
+	}
+	if spec.Count {
+		sf.Count = n
+	}
+	return sc.writeJSON(fdqc.FrameStats, sf) == nil
+}
+
+// badQueryIfUntyped tags untyped query-start errors as bad-query:
+// admission and execution failures are all typed (bound/rows/memory/
+// panic/ctx), so an untyped error at the start of a query is a spec
+// that did not resolve against this catalog (unknown relation, arity
+// mismatch, malformed shape).
+func badQueryIfUntyped(err error) error {
+	if err == nil || fdqc.EncodeError(err).Code != fdqc.CodeInternal {
+		return err
+	}
+	return &fdqc.RemoteError{Code: fdqc.CodeBadQuery, Msg: err.Error()}
+}
+
+// execute runs the spec on the tenant session, streaming batches as it
+// goes. It returns the finished Rows (for stats), the row count, and the
+// terminal error, with write failures folded in.
+func (sc *serverConn) execute(ctx context.Context, tenant *tenantState, spec *fdqc.QuerySpec) (*fdq.Rows, int, error) {
+	q, err := spec.Query()
+	if err != nil {
+		return nil, 0, &fdqc.RemoteError{Code: fdqc.CodeBadQuery, Msg: err.Error()}
+	}
+	if spec.Count {
+		n, err := tenant.sess.Count(ctx, q)
+		return nil, n, badQueryIfUntyped(err)
+	}
+	rows, err := tenant.sess.Query(ctx, q)
+	if err != nil {
+		return nil, 0, badQueryIfUntyped(err)
+	}
+	defer rows.Close()
+	width := len(spec.Vars)
+	batch := make([]fdq.Value, 0, width*sc.s.cfg.BatchRows)
+	n := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := sc.writeFrame(fdqc.FrameBatch, fdqc.AppendBatch(nil, batch, width))
+		batch = batch[:0]
+		return err
+	}
+	for rows.Next() {
+		batch = append(batch, rows.Row()...)
+		n++
+		if n%sc.s.cfg.BatchRows == 0 {
+			if err := flush(); err != nil {
+				// The client is gone or stalled past the write deadline:
+				// stop the executor, report the transport error.
+				return rows, n, err
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return rows, n, err
+	}
+	if err := flush(); err != nil {
+		return rows, n, err
+	}
+	return rows, n, nil
+}

@@ -62,11 +62,25 @@ func (p Policy) String() string {
 type Governor struct {
 	budget       float64 // max admitted log2 bound; +Inf admits everything
 	policy       Policy
-	degradeLimit int           // PolicyDegrade row cap; 0 = COUNT-only
-	timeout      time.Duration // per-query deadline (0 = none)
-	maxRows      int           // per-query delivered-row budget (0 = none)
-	maxMem       int64         // per-query memory budget, bytes (0 = none)
-	sem          *weightedSem  // non-nil iff policy == PolicyQueue
+	degradeLimit int                  // PolicyDegrade row cap; 0 = COUNT-only
+	timeout      time.Duration        // per-query deadline (0 = none)
+	maxRows      int                  // per-query delivered-row budget (0 = none)
+	maxMem       int64                // per-query memory budget, bytes (0 = none)
+	sem          *weightedSem         // non-nil iff policy == PolicyQueue
+	observer     func(AdmissionEvent) // non-nil: called on every admission decision
+}
+
+// AdmissionEvent describes one admission decision, delivered to the
+// observer installed with WithAdmissionObserver. Exactly one event fires
+// per admit attempt, after the decision is final (for PolicyQueue: after
+// the queued wait resolved, so Wait is the real head-of-line time).
+type AdmissionEvent struct {
+	LogBound float64       // the query's certified log2 output bound (NaN = uncertified)
+	Policy   Policy        // the governor's policy at decision time
+	Admitted bool          // false: refused (over budget, or the queued wait was cancelled)
+	Queued   bool          // waited behind the PolicyQueue semaphore
+	Wait     time.Duration // how long the queued wait took (admitted or not)
+	Degraded bool          // admitted in PolicyDegrade mode
 }
 
 // GovernorOption configures NewGovernor.
@@ -129,6 +143,16 @@ func WithMaxMemory(bytes int64) GovernorOption {
 			g.maxMem = bytes
 		}
 	}
+}
+
+// WithAdmissionObserver installs a callback invoked synchronously on every
+// admission decision — admitted, queued, degraded, or refused — with the
+// decision's numbers. This is the metrics hook a multi-tenant server hangs
+// its admitted/rejected counters and queue-wait histograms on (see
+// fdq/fdqd). The callback runs on the admitting goroutine and must not
+// block; a nil fn removes the observer.
+func WithAdmissionObserver(fn func(AdmissionEvent)) GovernorOption {
+	return func(g *Governor) { g.observer = fn }
 }
 
 // NewGovernor builds a governor. With no options it admits everything and
@@ -195,6 +219,7 @@ func (g *Governor) admit(ctx context.Context, logBound float64) (*admission, err
 		start := time.Now()
 		waited, err := g.sem.acquire(ctx, w)
 		if err != nil {
+			g.observe(AdmissionEvent{LogBound: logBound, Policy: g.policy, Queued: waited, Wait: time.Since(start)})
 			return nil, err
 		}
 		a.queued = waited
@@ -204,14 +229,27 @@ func (g *Governor) admit(ctx context.Context, logBound float64) (*admission, err
 		a.degraded = over
 	default: // PolicyReject
 		if over {
+			g.observe(AdmissionEvent{LogBound: logBound, Policy: g.policy})
 			return nil, &BoundExceededError{LogBound: logBound, Budget: g.budget}
 		}
 	}
+	g.observe(AdmissionEvent{LogBound: logBound, Policy: g.policy, Admitted: true,
+		Queued: a.queued, Wait: a.wait, Degraded: a.degraded})
 	return a, nil
 }
 
-// pow2Clamped returns 2^⌈log⌉ as an int64, clamped into [1, 2^62];
-// uncertified bounds (NaN, ±Inf out of range) saturate high.
+// observe delivers an admission event to the installed observer, if any.
+func (g *Governor) observe(ev AdmissionEvent) {
+	if g.observer != nil {
+		g.observer(ev)
+	}
+}
+
+// pow2Clamped returns 2^⌈log⌉ as an int64, clamped into [1, 2^62].
+// Uncertified bounds (NaN, +Inf) saturate high — an unbounded query must
+// weigh as much as the semaphore holds; -Inf is the opposite extreme, a
+// *provably empty* output, and clamps low with every other log ≤ 0 to the
+// minimum weight of 1 (every admitted query occupies at least one unit).
 func pow2Clamped(log float64) int64 {
 	if math.IsNaN(log) || log >= 62 {
 		return 1 << 62

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -142,11 +144,67 @@ func TestPow2Clamped(t *testing.T) {
 	}{
 		{-3, 1}, {0, 1}, {0.5, 2}, {3, 8}, {3.2, 16},
 		{62, 1 << 62}, {400, 1 << 62},
-		{math.NaN(), 1 << 62}, {math.Inf(1), 1 << 62},
+		// Uncertified bounds saturate high; -Inf — a provably empty
+		// output — clamps low to the minimum weight (doc'd on pow2Clamped).
+		{math.NaN(), 1 << 62}, {math.Inf(1), 1 << 62}, {math.Inf(-1), 1},
 	}
 	for _, c := range cases {
 		if got := pow2Clamped(c.in); got != c.want {
 			t.Errorf("pow2Clamped(%v) = %d, want %d", c.in, got, c.want)
 		}
+	}
+}
+
+// TestWeightedSemGrantCancelHammer races grants against cancellations
+// under -race: many goroutines acquire random-ish weights with contexts
+// that cancel at staggered times, exercising the grant-raced-cancellation
+// hand-back path in acquire. Afterwards the semaphore must be exactly
+// empty — every granted unit returned, no waiter stranded — which a
+// full-capacity acquire proves.
+func TestWeightedSemGrantCancelHammer(t *testing.T) {
+	const capacity = 8
+	s := newWeightedSem(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w := int64(1 + (g+i)%capacity) // weights 1..capacity, deterministic mix
+				ctx, cancel := context.WithCancel(context.Background())
+				if (g+i)%3 == 0 {
+					// Cancel concurrently with the acquire so grants race
+					// cancellations in both orders.
+					go cancel()
+				}
+				waited, err := s.acquire(ctx, w)
+				if err == nil {
+					if (g+i)%5 == 0 {
+						runtime.Gosched() // hold the grant across a reschedule
+					}
+					s.release(w)
+				}
+				_ = waited
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The semaphore must be exactly empty: a full-capacity acquire succeeds
+	// without waiting, and the waiter queue is gone.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	waited, err := s.acquire(ctx, capacity)
+	if err != nil {
+		t.Fatalf("semaphore leaked units: full-capacity acquire failed: %v", err)
+	}
+	if waited {
+		t.Fatal("full-capacity acquire had to wait: a stale waiter survived the hammer")
+	}
+	s.release(capacity)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != 0 || s.waiters.Len() != 0 {
+		t.Fatalf("semaphore not empty after hammer: cur=%d waiters=%d", s.cur, s.waiters.Len())
 	}
 }

@@ -13,20 +13,26 @@ import (
 )
 
 // RunStats summarizes one finished execution.
+//
+// The JSON tags are the stats' wire mapping: fdqd streams a RunStats to
+// the client as the stats frame of every successful query, and fdqc
+// decodes it back into the same struct — keep the tags stable (durations
+// travel as nanoseconds, NaN LogBound as the JSON null via LogBoundPtr
+// handling in fdqc's envelope).
 type RunStats struct {
-	Algorithm string        // algorithm that actually ran
-	Workers   int           // goroutines that executed partitions (1 = sequential)
-	Rows      int           // rows emitted (a stopped run counts what it delivered)
-	Duration  time.Duration // wall-clock execution time
-	LogBound  float64       // certified log2 output bound the planner computed (NaN if none)
-	MemBytes  int64         // approximate result bytes accounted (8 per value)
-	QueueWait time.Duration // time spent queued behind the governor's semaphore
-	Degraded  bool          // ran in PolicyDegrade mode (LIMIT-k or COUNT-only)
+	Algorithm string        `json:"algorithm"`  // algorithm that actually ran
+	Workers   int           `json:"workers"`    // goroutines that executed partitions (1 = sequential)
+	Rows      int           `json:"rows"`       // rows emitted (a stopped run counts what it delivered)
+	Duration  time.Duration `json:"duration"`   // wall-clock execution time (JSON: nanoseconds)
+	LogBound  float64       `json:"-"`          // certified log2 output bound the planner computed (NaN if none; not JSON-safe — carried as a pointer by the wire envelope)
+	MemBytes  int64         `json:"mem_bytes"`  // approximate result bytes accounted (8 per value)
+	QueueWait time.Duration `json:"queue_wait"` // time spent queued behind the governor's semaphore (JSON: nanoseconds)
+	Degraded  bool          `json:"degraded"`   // ran in PolicyDegrade mode (LIMIT-k or COUNT-only)
 
 	// Morsel-scheduler detail (zero on sequential and legacy-static runs).
-	Morsels       int // work units the morsel scheduler executed
-	Steals        int // morsels a worker took from another worker's share
-	AdaptSwitches int // mid-flight plan re-derivations (0 once the verdict is memoized)
+	Morsels       int `json:"morsels"`        // work units the morsel scheduler executed
+	Steals        int `json:"steals"`         // morsels a worker took from another worker's share
+	AdaptSwitches int `json:"adapt_switches"` // mid-flight plan re-derivations (0 once the verdict is memoized)
 }
 
 func runStats(st *engine.Stats, adm *admission) *RunStats {
@@ -86,7 +92,8 @@ type Rows struct {
 	cancel context.CancelFunc // cancels the iterator-owned derived ctx
 
 	closeOnce sync.Once
-	closed    bool // Close was called (set before cancel fires)
+	closed    bool  // Close was called (set before cancel fires)
+	closeErr  error // the parent context's error state when Close ran
 	cur       rel.Tuple
 	done      bool // ch closed and observed
 	err       error
@@ -109,9 +116,17 @@ func newRows(cols []string, parent context.Context, cancel context.CancelFunc) *
 // the sink's stop signal, so cancellation unblocks a parked Push. The
 // admission's semaphore hold is released here, when the work is done —
 // never earlier — so queued admission actually bounds concurrent load.
+//
+// The deferred r.cancel releases the derived context — and the governor's
+// WithQueryTimeout timer behind it — the moment the producer finishes, so
+// an abandoned iterator (consumer never calls Next past exhaustion or
+// Close) does not hold a live timer until it fires. It runs after the body
+// published r.err/r.stats and before the channel closes (defers are LIFO),
+// so Err never observes the producer's own release as a cancellation.
 func (r *Rows) run(ctx context.Context, e *exec) {
 	defer close(r.ch)
 	defer e.adm.release()
+	defer r.cancel()
 	r.adm = e.adm
 	var base rel.Sink = &rel.ChanSink{C: r.ch, Stop: ctx.Done()}
 	if e.countOnly {
@@ -176,12 +191,15 @@ func (r *Rows) Scan(dest ...*Value) error {
 // meaningful after Next returned false (or after Close); a consumer
 // stopping early — Close, or the query's Limit — is not an error, so the
 // context.Canceled produced by Close's own cancellation is suppressed
-// unless the caller's context was itself cancelled.
+// unless the caller's context was already cancelled when Close ran. The
+// parent's error state is snapshotted at close time: a clean Close is
+// final, and a parent cancelled afterwards cannot retroactively turn the
+// non-error into context.Canceled.
 func (r *Rows) Err() error {
 	if !r.done {
 		return nil
 	}
-	if r.closed && errors.Is(r.err, context.Canceled) && r.parent.Err() == nil {
+	if r.closed && errors.Is(r.err, context.Canceled) && r.closeErr == nil {
 		return nil
 	}
 	return r.err
@@ -194,6 +212,7 @@ func (r *Rows) Err() error {
 // Close is idempotent and safe after exhaustion.
 func (r *Rows) Close() error {
 	r.closeOnce.Do(func() {
+		r.closeErr = r.parent.Err() // snapshot before cancel: Close-time truth
 		r.closed = true
 		r.cancel()
 	})

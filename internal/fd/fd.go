@@ -33,6 +33,12 @@ type FD struct {
 	To    varset.Set
 	Guard int
 	Fns   map[int]UDF
+	// FnNames optionally records a portable name per computed target (same
+	// keys as Fns) when the UDF came from a named builtin (the script
+	// parser's `via` clause). Execution never reads it; it exists so a
+	// parsed query can be re-serialized — e.g. shipped over the fdqd wire
+	// protocol, which carries functions by name, never by value.
+	FnNames map[int]string
 }
 
 // Guarded reports whether the dependency is enforced by an input relation.

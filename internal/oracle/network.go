@@ -1,0 +1,285 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"slices"
+	"time"
+
+	"repro/fdq"
+	"repro/fdq/fdqc"
+	"repro/fdq/fdqd"
+	"repro/internal/naive"
+	"repro/internal/query"
+	"repro/internal/rel"
+	"repro/internal/scenario"
+)
+
+// NetworkResult is the conformance record of one scenario instance run
+// across a real socket: an fdqd server on a loopback listener, an fdqc
+// client, and byte-identity against both the in-process fdq session and
+// the naive reference — plus typed-error equivalence (the same governed
+// refusal must reconstruct identically on the client side of the wire).
+type NetworkResult struct {
+	Scenario string        `json:"scenario"`
+	Checks   []CheckResult `json:"checks"`
+	Skipped  string        `json:"skipped,omitempty"` // scenario cannot cross the wire (e.g. programmatic UDF)
+	Pass     bool          `json:"pass"`
+	Failures []string      `json:"failures,omitempty"`
+	Millis   float64       `json:"millis"`
+}
+
+func (r *NetworkResult) fail(format string, args ...any) {
+	r.Pass = false
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// networkCatalog rebuilds the instance's relations as an fdq catalog.
+// Duplicate relation names are legal only when the data is identical
+// (a self-join referencing one stored relation twice).
+func networkCatalog(q *query.Q) (*fdq.Catalog, error) {
+	cat := fdq.NewCatalog()
+	seen := map[string]*rel.Relation{}
+	for _, r := range q.Rels {
+		if prev, ok := seen[r.Name]; ok {
+			if !rel.Identical(prev, r) {
+				return nil, fmt.Errorf("relation name %q reused with different data", r.Name)
+			}
+			continue
+		}
+		seen[r.Name] = r
+		cols := make([]string, r.Arity())
+		for i, a := range r.Attrs {
+			cols[i] = q.Names[a]
+		}
+		rows := make([][]fdq.Value, r.Len())
+		for i := 0; i < r.Len(); i++ {
+			rows[i] = append([]fdq.Value(nil), r.Row(i)...)
+		}
+		if err := cat.Define(r.Name, cols, rows); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// CheckNetworkInstance runs one scenario instance end to end over a real
+// socket and compares against the in-process execution and the naive
+// reference. Scenarios whose query cannot be expressed on the wire
+// (unguarded FDs computed by unnamed functions) are recorded as skipped,
+// not failed — the wire protocol deliberately carries functions by
+// builtin name only.
+func CheckNetworkInstance(ctx context.Context, in scenario.Instance) (res NetworkResult) {
+	start := time.Now()
+	res = NetworkResult{Scenario: in.Name, Pass: true}
+	defer func() { res.Millis = float64(time.Since(start).Microseconds()) / 1000 }()
+
+	q := in.Build()
+	spec, err := fdqc.FromQuery(q)
+	if err != nil {
+		res.Skipped = err.Error()
+		return res
+	}
+	cat, err := networkCatalog(q)
+	if err != nil {
+		res.Skipped = err.Error()
+		return res
+	}
+	qb, err := spec.Query() // the in-process twin of what the server runs
+	if err != nil {
+		res.fail("spec does not lower: %v", err)
+		return res
+	}
+	want := naive.Evaluate(q)
+
+	srv, err := fdqd.New(fdqd.Config{
+		Catalog: cat,
+		Tenants: map[string][]fdq.GovernorOption{
+			// Mirrored by the in-process sessions below; -1 is under any
+			// certified bound of a nonempty output, so reject always fires.
+			"reject": {fdq.WithMaxLogBound(-1)},
+			"rowcap": {fdq.WithMaxRows(1)},
+		},
+	})
+	if err != nil {
+		res.fail("server: %v", err)
+		return res
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		res.fail("listen: %v", err)
+		return res
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			res.fail("shutdown: %v", err)
+		}
+		if err := <-served; err != nil {
+			res.fail("serve: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	check := func(name string, f func() error) {
+		cr := CheckResult{Check: name, Status: StatusPass}
+		if err := f(); err != nil {
+			cr.Status = StatusFail
+			cr.Detail = err.Error()
+			res.fail("%s: %v", name, err)
+		}
+		res.Checks = append(res.Checks, cr)
+	}
+	dial := func(tenant string) (*fdqc.Client, error) {
+		return fdqc.Dial(addr, fdqc.WithTenant(tenant))
+	}
+
+	check("network/collect", func() error {
+		c, err := dial("")
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		got, stats, err := c.Collect(ctx, spec)
+		if err != nil {
+			return err
+		}
+		inproc, err := fdq.NewSession(cat).Collect(ctx, qb)
+		if err != nil {
+			return fmt.Errorf("in-process: %w", err)
+		}
+		if err := identicalRows(got, inproc); err != nil {
+			return fmt.Errorf("network vs in-process: %w", err)
+		}
+		if len(got) != want.Len() {
+			return fmt.Errorf("network %d rows, naive reference %d", len(got), want.Len())
+		}
+		for i := range got {
+			if !slices.Equal(got[i], []fdq.Value(want.Row(i))) {
+				return fmt.Errorf("row %d: network %v, naive reference %v", i, got[i], want.Row(i))
+			}
+		}
+		if stats == nil || stats.Rows != want.Len() {
+			return fmt.Errorf("stats frame lost or wrong: %+v", stats)
+		}
+		return nil
+	})
+
+	check("network/count", func() error {
+		c, err := dial("")
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		n, err := c.Count(ctx, spec)
+		if err != nil {
+			return err
+		}
+		if n != want.Len() {
+			return fmt.Errorf("count %d, reference %d", n, want.Len())
+		}
+		return nil
+	})
+
+	if k := (want.Len() + 1) / 2; k >= 1 {
+		check(fmt.Sprintf("network/limit%d", k), func() error {
+			c, err := dial("")
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			s := *spec
+			s.Limit = k
+			got, _, err := c.Collect(ctx, &s)
+			if err != nil {
+				return err
+			}
+			if len(got) != k {
+				return fmt.Errorf("limit %d delivered %d rows", k, len(got))
+			}
+			for i := range got {
+				if !slices.Equal(got[i], []fdq.Value(want.Row(i))) {
+					return fmt.Errorf("limit row %d: %v is not the reference prefix row %v", i, got[i], want.Row(i))
+				}
+			}
+			return nil
+		})
+	}
+
+	// Typed-error equivalence: the same governed refusal, produced once in
+	// process and once across the wire, must match the same sentinels and
+	// carry the same payload numbers.
+	check("network/error/bound", func() error {
+		inSess := fdq.NewSession(cat, fdq.WithGovernor(fdq.NewGovernor(fdq.WithMaxLogBound(-1))))
+		_, inErr := inSess.Collect(ctx, qb)
+		c, err := dial("reject")
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		_, _, netErr := c.Collect(ctx, spec)
+		return equivalentErrors(inErr, netErr, fdq.ErrBoundExceeded)
+	})
+
+	if want.Len() > 1 {
+		check("network/error/rows", func() error {
+			inSess := fdq.NewSession(cat, fdq.WithGovernor(fdq.NewGovernor(fdq.WithMaxRows(1))))
+			_, inErr := inSess.Collect(ctx, qb)
+			c, err := dial("rowcap")
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			_, _, netErr := c.Collect(ctx, spec)
+			return equivalentErrors(inErr, netErr, fdq.ErrRowsExceeded)
+		})
+	}
+	return res
+}
+
+// identicalRows compares two collected results byte for byte.
+func identicalRows(a, b [][]fdq.Value) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d rows", len(a), len(b))
+	}
+	for i := range a {
+		if !slices.Equal(a[i], b[i]) {
+			return fmt.Errorf("row %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// equivalentErrors demands both errors match the sentinel and carry the
+// same typed payload.
+func equivalentErrors(inErr, netErr, sentinel error) error {
+	if inErr == nil || netErr == nil {
+		return fmt.Errorf("in-process err %v, network err %v (both must refuse)", inErr, netErr)
+	}
+	if !errors.Is(inErr, sentinel) {
+		return fmt.Errorf("in-process error %v does not match %v", inErr, sentinel)
+	}
+	if !errors.Is(netErr, sentinel) {
+		return fmt.Errorf("network error %v does not match %v", netErr, sentinel)
+	}
+	var inBE, netBE *fdq.BoundExceededError
+	if errors.As(inErr, &inBE) != errors.As(netErr, &netBE) {
+		return fmt.Errorf("typed shape mismatch: %T vs %T", inErr, netErr)
+	}
+	if inBE != nil && (inBE.LogBound != netBE.LogBound || inBE.Budget != netBE.Budget) {
+		return fmt.Errorf("bound payload drifted: in-process %+v, network %+v", inBE, netBE)
+	}
+	var inRE, netRE *fdq.RowsExceededError
+	if errors.As(inErr, &inRE) != errors.As(netErr, &netRE) {
+		return fmt.Errorf("typed shape mismatch: %T vs %T", inErr, netErr)
+	}
+	if inRE != nil && inRE.Limit != netRE.Limit {
+		return fmt.Errorf("rows payload drifted: in-process %+v, network %+v", inRE, netRE)
+	}
+	return nil
+}

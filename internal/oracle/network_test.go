@@ -1,0 +1,47 @@
+package oracle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestNetworkSmallTier runs the network flavor over the whole small tier:
+// every scenario either passes byte-identically across a real socket or
+// is a recorded unnamed-function skip — the same matrix CI drives through
+// cmd/conformance -network.
+func TestNetworkSmallTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a server per scenario")
+	}
+	passes, skips := 0, 0
+	for _, in := range scenario.Instances(scenario.TierSmall) {
+		res := CheckNetworkInstance(context.Background(), in)
+		if !res.Pass {
+			t.Errorf("%s: %v", in.Name, res.Failures)
+			continue
+		}
+		if res.Skipped != "" {
+			if !strings.Contains(res.Skipped, "unnamed function") {
+				t.Errorf("%s: unexpected skip reason %q", in.Name, res.Skipped)
+			}
+			skips++
+			continue
+		}
+		if len(res.Checks) == 0 {
+			t.Errorf("%s: passed with no checks", in.Name)
+		}
+		passes++
+	}
+	if passes == 0 {
+		t.Fatal("no scenario ran across the wire")
+	}
+	// The catalog's programmatic-UDF families must be skips, not silent
+	// passes: only named builtins cross the wire.
+	if skips == 0 {
+		t.Fatal("no unnamed-function scenario was recorded as a skip")
+	}
+	t.Logf("network tier: %d passed, %d skipped", passes, skips)
+}

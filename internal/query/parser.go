@@ -92,6 +92,12 @@ func parseRel(q *Q, s string) error {
 	return nil
 }
 
+// BuiltinUDF resolves the named builtin UDF of the script grammar ("sum",
+// "first", "last", "pair", "zero"). Exported for consumers that receive
+// functions by name — the fdqd wire protocol ships unguarded computed FDs
+// as builtin names and resolves them server-side through this table.
+func BuiltinUDF(name string) (fd.UDF, error) { return builtinUDF(name) }
+
 // builtinUDF returns a named builtin.
 func builtinUDF(name string) (fd.UDF, error) {
 	switch name {
@@ -134,6 +140,7 @@ func parseFD(q *Q, s string) error {
 	var toNames []string
 	guard := -1
 	var udf fd.UDF
+	var udfName string
 	for i := 0; i < len(rest); i++ {
 		switch rest[i] {
 		case "via":
@@ -144,6 +151,7 @@ func parseFD(q *Q, s string) error {
 			if err != nil {
 				return err
 			}
+			udfName = rest[i+1]
 			i++
 		case "guard":
 			if i+1 >= len(rest) {
@@ -163,6 +171,7 @@ func parseFD(q *Q, s string) error {
 	}
 	to := varset.Empty
 	fns := map[int]fd.UDF{}
+	names := map[int]string{}
 	for _, tn := range toNames {
 		v := q.Var(strings.Trim(tn, ","))
 		if v < 0 {
@@ -171,12 +180,14 @@ func parseFD(q *Q, s string) error {
 		to = to.Add(v)
 		if udf != nil {
 			fns[v] = udf
+			names[v] = udfName
 		}
 	}
 	if udf == nil {
-		fns = nil
+		fns, names = nil, nil
 	}
 	q.FDs.Add(from, to, guard, fns)
+	q.FDs.FDs[len(q.FDs.FDs)-1].FnNames = names
 	q.invalidate()
 	return nil
 }
