@@ -5,12 +5,13 @@
 // removed, or re-typed symbol) must be made deliberately, in the same
 // commit that updates the snapshot.
 //
-//	apicheck -dir fdq -write api.txt   # record the current surface
-//	apicheck -dir fdq -check api.txt   # exit 1 on any difference
+//	apicheck -dir fdq -write api.txt                     # record one package
+//	apicheck -dir fdq,fdq/fdqc,fdq/fdqd -check api.txt   # guard several
 //
 // The listing is deterministic: one line per exported symbol (functions
 // and methods with full signatures, types, exported struct fields, consts
-// and vars), whitespace-normalized and sorted.
+// and vars), whitespace-normalized and sorted. With several directories
+// (comma-separated), each line is prefixed by its package directory.
 package main
 
 import (
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "fdq", "package directory to inspect")
+	dir := flag.String("dir", "fdq", "package directory to inspect (comma-separated to guard several)")
 	write := flag.String("write", "", "write the API listing to this file")
 	check := flag.String("check", "", "diff the API listing against this file; exit 1 on mismatch")
 	flag.Parse()
@@ -36,11 +37,22 @@ func main() {
 		os.Exit(2)
 	}
 
-	lines, err := apiLines(*dir)
-	if err != nil {
-		fatal(err)
+	dirs := strings.Split(*dir, ",")
+	var lines []string
+	for _, d := range dirs {
+		ls, err := apiLines(d)
+		if err != nil {
+			fatal(err)
+		}
+		if len(dirs) > 1 {
+			for i := range ls {
+				ls[i] = d + ": " + ls[i]
+			}
+		}
+		lines = append(lines, ls...)
 	}
-	listing := "# Exported API of ./" + *dir + " — regenerate with: go run ./cmd/apicheck -dir " +
+	sort.Strings(lines)
+	listing := "# Exported API of ./" + strings.Join(dirs, ", ./") + " — regenerate with: go run ./cmd/apicheck -dir " +
 		*dir + " -write api.txt\n" + strings.Join(lines, "\n") + "\n"
 
 	if *write != "" {

@@ -67,6 +67,15 @@ type Report struct {
 	NetworkPasses  int                    `json:"network_passes,omitempty"`
 	NetworkSkipped int                    `json:"network_skipped,omitempty"`
 	Network        []oracle.NetworkResult `json:"network,omitempty"`
+
+	// Chaos mode (-chaos) summary: the network matrix re-run behind the
+	// chaos proxy, one cell per fault schedule. Every cell must end
+	// byte-identical to the reference or in a typed error, with zero
+	// leaked goroutines.
+	ChaosChecks  int                  `json:"chaos_checks,omitempty"`
+	ChaosPasses  int                  `json:"chaos_passes,omitempty"`
+	ChaosSkipped int                  `json:"chaos_skipped,omitempty"`
+	Chaos        []oracle.ChaosResult `json:"chaos,omitempty"`
 }
 
 func main() {
@@ -76,6 +85,7 @@ func main() {
 	stable := flag.Bool("stable", false, "zero all timings for a diff-stable committed report")
 	faults := flag.Bool("faults", false, "run the fault-injection matrix instead of the standard one")
 	network := flag.Bool("network", false, "run the network matrix (fdqd over a real socket) instead of the standard one")
+	chaos := flag.Bool("chaos", false, "run the network matrix behind the chaos proxy's fault schedules")
 	flag.Parse()
 
 	tier, err := scenario.ParseTier(*tierFlag)
@@ -90,6 +100,10 @@ func main() {
 	}
 	if *network {
 		runNetwork(tier, *tierFlag, *outFlag, *verbose, *stable)
+		return
+	}
+	if *chaos {
+		runChaos(tier, *tierFlag, *outFlag, *verbose, *stable)
 		return
 	}
 
@@ -306,6 +320,73 @@ func runNetwork(tier scenario.Tier, tierName, outPath string, verbose, stable bo
 
 	fmt.Fprintf(os.Stderr, "conformance -network: %d scenarios, %d passed, %d failed, %d checks (%d scenarios skipped)\n",
 		rep.Scenarios, rep.Passed, rep.Failed, rep.NetworkChecks, rep.NetworkSkipped)
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runChaos drives every tier scenario across the chaos matrix: the same
+// loopback fdqd/fdqc pair as -network, but with a deterministic fault
+// schedule injected between them per cell. It writes the report and
+// exits non-zero on any failure.
+func runChaos(tier scenario.Tier, tierName, outPath string, verbose, stable bool) {
+	start := time.Now()
+	rep := Report{Tier: tierName}
+	for _, in := range scenario.Instances(tier) {
+		res := oracle.CheckChaosInstance(context.Background(), in)
+		rep.Scenarios++
+		if res.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+		}
+		if res.Skipped != "" {
+			rep.ChaosSkipped++
+		}
+		for _, c := range res.Checks {
+			rep.ChaosChecks++
+			if c.Status == oracle.StatusPass {
+				rep.ChaosPasses++
+			}
+		}
+		rep.Chaos = append(rep.Chaos, res)
+		if verbose {
+			status := "ok"
+			if !res.Pass {
+				status = "FAIL"
+			}
+			if res.Skipped != "" {
+				status = "skip"
+			}
+			fmt.Fprintf(os.Stderr, "%-4s %-40s %d cells %.0fms\n", status, res.Scenario, len(res.Checks), res.Millis)
+			for _, f := range res.Failures {
+				fmt.Fprintf(os.Stderr, "     %s\n", f)
+			}
+		}
+	}
+	rep.Millis = float64(time.Since(start).Microseconds()) / 1000
+	if stable {
+		rep.Millis = 0
+		for i := range rep.Chaos {
+			rep.Chaos[i].Millis = 0
+		}
+	}
+
+	enc, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if outPath == "-" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "conformance -chaos: %d scenarios, %d passed, %d failed, %d cells (%d scenarios skipped)\n",
+		rep.Scenarios, rep.Passed, rep.Failed, rep.ChaosChecks, rep.ChaosSkipped)
 	if rep.Failed > 0 {
 		os.Exit(1)
 	}

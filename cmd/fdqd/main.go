@@ -44,6 +44,9 @@ func main() {
 	ioTimeout := flag.Duration("io-timeout", 30*time.Second, "per-frame socket read/write deadline")
 	idle := flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle between queries this long")
 	batch := flag.Int("batch", 256, "rows per batch frame")
+	maxConns := flag.Int("max-conns", 0, "server-wide open-connection cap; extras get a typed over-capacity refusal (0 = unlimited)")
+	retryAfter := flag.Duration("retry-after", time.Second, "backoff hint carried in over-capacity refusals")
+	frameTimeout := flag.Duration("frame-timeout", 0, "slow-loris guard: a started frame must finish within this (0 = io-timeout)")
 	govSpec := flag.String("gov", "", "default tenant governor spec (key=value, comma-separated)")
 	var tenantSpecs stringList
 	flag.Var(&tenantSpecs, "tenant", "named tenant governor: \"name:spec\" (repeatable)")
@@ -63,11 +66,14 @@ func main() {
 	}
 
 	cfg := fdqd.Config{
-		Catalog:     cat,
-		IOTimeout:   *ioTimeout,
-		IdleTimeout: *idle,
-		BatchRows:   *batch,
-		Tenants:     map[string][]fdq.GovernorOption{},
+		Catalog:      cat,
+		IOTimeout:    *ioTimeout,
+		IdleTimeout:  *idle,
+		BatchRows:    *batch,
+		MaxConns:     *maxConns,
+		RetryAfter:   *retryAfter,
+		FrameTimeout: *frameTimeout,
+		Tenants:      map[string][]fdq.GovernorOption{},
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

@@ -11,6 +11,7 @@
 //
 //	saturate -out BENCH_6.json [-duration 2s] [-clients 8] [-bombs 32] [-workers N]
 //	saturate -addr self -out BENCH_8.json   # same experiment over TCP via fdqd
+//	saturate -churn -churn-conns 2000 -out BENCH_9.json  # connection-churn soak
 //
 // -addr switches the harness to network mode: every client and bomb
 // drives its queries across a real TCP connection through fdqd instead
@@ -33,6 +34,14 @@
 // headline ratios: ungoverned p99 / unloaded p99 (how badly an open
 // system collapses) and governed p99 / unloaded p99 (how flat the
 // governed system stays).
+//
+// -churn switches to the resilience soak (see churn.go): -churn-conns
+// worker connections churn through chaos proxies — dialing, querying,
+// abandoning streams, hard-closing — while a small direct fleet
+// measures governed cheap-query latency. The pass gate requires zero
+// untyped errors, p99 within 2x unloaded, and goroutines, FDs,
+// admission slots and open connections all back at baseline afterwards
+// (what BENCH_9.json records).
 package main
 
 import (
@@ -106,8 +115,15 @@ func main() {
 	bombs := flag.Int("bombs", 32, "bomb client goroutines during overload phases")
 	flag.IntVar(&workers, "workers", 0, "worker-pool size per query (0 = one per core)")
 	addr := flag.String("addr", "", `network mode: "self" serves a loopback fdqd in-process, anything else dials an external fdqd ("" = in-process sessions)`)
+	churn := flag.Bool("churn", false, "run the connection-churn soak (thousands of churning connections through chaos proxies) instead of the overload experiment")
+	churnConns := flag.Int("churn-conns", 2000, "concurrent connections the -churn soak must reach")
 	out := flag.String("out", "-", "report path, - for stdout")
 	flag.Parse()
+
+	if *churn {
+		runChurn(*churnConns, *clients, *duration, *out)
+		return
+	}
 
 	cat := buildCatalog()
 	cheapLB := explainBound(cat, cheapQuery())

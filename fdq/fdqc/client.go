@@ -27,13 +27,39 @@ func WithTenant(name string) DialOption { return func(c *Client) { c.tenant = na
 // batches; use context deadlines for query time budgets.
 func WithIOTimeout(d time.Duration) DialOption { return func(c *Client) { c.ioTimeout = d } }
 
-// Client is one connection to an fdqd server. It serves one query at a
-// time (the protocol is strictly request/response with a streamed
-// response); a Client is safe for use by one goroutine at a time, like the
-// Rows it produces.
+// WithDialTimeout bounds the TCP connect alone (default: the IO timeout).
+// The caller's context can always cut it shorter.
+func WithDialTimeout(d time.Duration) DialOption { return func(c *Client) { c.dialTimeout = d } }
+
+// WithRetryPolicy turns on automatic reconnect-and-retry under the given
+// policy (a zero policy means DefaultRetryPolicy). Only safely retryable
+// failures are retried — see Retryable for the taxonomy; the key
+// invariant is that a query is never silently re-run once row batches
+// have been consumed. With a policy set, Query reads the first response
+// frame eagerly so a connection that dies before delivering anything is
+// retried invisibly to the caller.
+func WithRetryPolicy(p RetryPolicy) DialOption {
+	return func(c *Client) { pp := p.norm(); c.retry = &pp }
+}
+
+// WithCancelGrace sets how long the client waits, after sending a cancel
+// frame for a cancelled context, for the server's terminal frame before
+// forcing the blocked read to fail (default 2s). It bounds how long a
+// cancelled query can stay stuck on a blackholed connection.
+func WithCancelGrace(d time.Duration) DialOption { return func(c *Client) { c.cancelGrace = d } }
+
+// Client is one connection to an fdqd server (and, when a RetryPolicy is
+// set, the ability to re-establish it). It serves one query at a time
+// (the protocol is strictly request/response with a streamed response); a
+// Client is safe for use by one goroutine at a time, like the Rows it
+// produces.
 type Client struct {
-	tenant    string
-	ioTimeout time.Duration
+	addr        string
+	tenant      string
+	ioTimeout   time.Duration
+	dialTimeout time.Duration
+	cancelGrace time.Duration
+	retry       *RetryPolicy
 
 	conn net.Conn
 	br   *bufio.Reader
@@ -46,51 +72,99 @@ type Client struct {
 
 // Dial connects to an fdqd server and performs the hello exchange.
 func Dial(addr string, opts ...DialOption) (*Client, error) {
-	c := &Client{ioTimeout: 30 * time.Second}
+	return DialContext(context.Background(), addr, opts...)
+}
+
+// DialContext is Dial honoring a context through both the TCP connect and
+// the hello exchange: a blackholed address fails at ctx's deadline, not
+// the socket's. With a RetryPolicy set, retryable connect failures
+// (including typed over-capacity refusals, whose retry-after hint floors
+// the backoff) are retried under the policy.
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	c := &Client{addr: addr, ioTimeout: 30 * time.Second, cancelGrace: 2 * time.Second}
 	for _, o := range opts {
 		o(c)
 	}
-	conn, err := net.DialTimeout("tcp", addr, c.ioTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("fdqc: dial %s: %w", addr, err)
+	if c.dialTimeout <= 0 {
+		c.dialTimeout = c.ioTimeout
 	}
+	if c.retry == nil {
+		if err := c.connect(ctx); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	rs := newRetryState(*c.retry)
+	for {
+		err := c.connect(ctx)
+		if err == nil {
+			return c, nil
+		}
+		if e := rs.next(ctx, err); e != nil {
+			return nil, e
+		}
+	}
+}
+
+// connect establishes the TCP connection and runs the hello exchange,
+// both under ctx: cancellation smashes the socket deadline so no phase
+// can outlive the caller's patience.
+func (c *Client) connect(ctx context.Context) error {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		if ce := ctx.Err(); ce != nil {
+			return ce
+		}
+		return &TransportError{Op: "dial", Err: fmt.Errorf("fdqc: dial %s: %w", c.addr, err)}
+	}
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
 	c.conn = conn
 	c.br = bufio.NewReader(conn)
 	c.bw = bufio.NewWriter(conn)
-	if err := c.writeJSON(FrameHello, Hello{Version: ProtocolVersion, Tenant: c.tenant}); err != nil {
+	c.broken = false
+	fail := func(err error) error {
 		conn.Close()
-		return nil, err
+		c.conn = nil
+		if ce := ctx.Err(); ce != nil {
+			return ce
+		}
+		return err
+	}
+	if err := c.writeJSON(FrameHello, Hello{Version: ProtocolVersion, Tenant: c.tenant}); err != nil {
+		return fail(&TransportError{Op: "hello", Err: err})
 	}
 	t, payload, err := c.readFrame()
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("fdqc: hello: %w", err)
+		return fail(&TransportError{Op: "hello", Err: err})
 	}
 	switch t {
 	case FrameHelloAck:
 		var ack HelloAck
 		if err := json.Unmarshal(payload, &ack); err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("fdqc: hello ack: %w", err)
+			return fail(&ProtocolError{Reason: fmt.Sprintf("malformed hello ack: %v", err)})
 		}
 		if ack.Version != ProtocolVersion {
-			conn.Close()
-			return nil, fmt.Errorf("fdqc: server speaks protocol %d, client %d", ack.Version, ProtocolVersion)
+			return fail(fmt.Errorf("fdqc: server speaks protocol %d, client %d", ack.Version, ProtocolVersion))
 		}
-		return c, nil
+		return nil
 	case FrameError:
 		var ef ErrorFrame
 		if err := json.Unmarshal(payload, &ef); err == nil {
-			conn.Close()
-			return nil, ef.Err()
+			return fail(ef.Err())
 		}
 	}
-	conn.Close()
-	return nil, fmt.Errorf("fdqc: unexpected %c frame in hello exchange", t)
+	return fail(&ProtocolError{Reason: fmt.Sprintf("unexpected %c frame in hello exchange", t)})
 }
 
 // Close closes the connection. A Rows still in flight fails its next read.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
 
 func (c *Client) writeJSON(t FrameType, v any) error {
 	payload, err := json.Marshal(v)
@@ -103,6 +177,9 @@ func (c *Client) writeJSON(t FrameType, v any) error {
 func (c *Client) writeFrame(t FrameType, payload []byte) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	if c.conn == nil {
+		return errors.New("fdqc: connection is closed")
+	}
 	if c.ioTimeout > 0 {
 		c.conn.SetWriteDeadline(time.Now().Add(c.ioTimeout))
 	}
@@ -119,32 +196,103 @@ func (c *Client) readFrame() (FrameType, []byte, error) {
 	return ReadFrame(c.br)
 }
 
+// ensureConn reconnects when the connection is absent or broken; a
+// healthy connection is reused.
+func (c *Client) ensureConn(ctx context.Context) error {
+	if c.conn != nil && !c.broken {
+		return nil
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return c.connect(ctx)
+}
+
 // Query ships the spec and returns a Rows streaming the result. The
 // context governs the query: cancelling it sends a cancel frame so the
 // server-side executor stops promptly, and the iterator then surfaces
 // ctx's error (mirroring fdq.Rows). Only one query may be in flight per
 // connection; Close (or drain to exhaustion) the Rows before the next.
+//
+// With a RetryPolicy set, failures before the first response frame —
+// reconnects included — are retried under the policy; anything after it
+// surfaces through the Rows, typed.
 func (c *Client) Query(ctx context.Context, spec *QuerySpec) (*Rows, error) {
-	if c.broken {
-		return nil, errors.New("fdqc: connection is broken by an earlier protocol error")
-	}
 	if c.busy {
 		return nil, errors.New("fdqc: a query is already in flight on this connection")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := c.writeJSON(FrameQuery, spec); err != nil {
-		c.broken = true
+	if c.retry == nil {
+		if c.broken {
+			return nil, errors.New("fdqc: connection is broken by an earlier protocol error")
+		}
+		return c.query1(ctx, spec)
+	}
+	rs := newRetryState(*c.retry)
+	for {
+		r, err := c.query1(ctx, spec)
+		if err == nil {
+			return r, nil
+		}
+		if e := rs.next(ctx, err); e != nil {
+			return nil, e
+		}
+	}
+}
+
+// query1 is one attempt: connect if needed, send the spec, and (when
+// retrying is on) prime the stream by reading its first response frame.
+func (c *Client) query1(ctx context.Context, spec *QuerySpec) (*Rows, error) {
+	if err := c.ensureConn(ctx); err != nil {
 		return nil, err
 	}
-	c.busy = true
+	if err := c.writeJSON(FrameQuery, spec); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		if ce := ctx.Err(); ce != nil {
+			return nil, ce
+		}
+		return nil, &TransportError{Op: "send", Err: err}
+	}
 	r := &Rows{
 		c:       c,
+		conn:    c.conn,
 		cols:    append([]string(nil), spec.Vars...),
 		parent:  ctx,
 		unwatch: func() {},
 	}
+	if c.retry != nil {
+		stop := context.AfterFunc(ctx, func() { r.conn.SetDeadline(time.Unix(1, 0)) })
+		t, payload, err := c.readFrame()
+		stop()
+		if err != nil {
+			c.conn.Close()
+			c.conn = nil
+			if ce := ctx.Err(); ce != nil {
+				return nil, ce
+			}
+			var pe *ProtocolError
+			if errors.As(err, &pe) && pe.Err == nil {
+				return nil, err // semantic desync, not a dead network: never retried
+			}
+			return nil, &TransportError{Op: "recv", Err: err}
+		}
+		if t == FrameError {
+			var ef ErrorFrame
+			if json.Unmarshal(payload, &ef) == nil {
+				if ok, _ := Retryable(ef.Err()); ok {
+					// Terminal frame consumed; the connection stays usable
+					// for the retry.
+					return nil, ef.Err()
+				}
+			}
+		}
+		r.primedT, r.primedP, r.hasPrimed = t, payload, true
+	}
+	c.busy = true
 	if ctx.Done() != nil {
 		stop := make(chan struct{})
 		var once sync.Once
@@ -153,6 +301,24 @@ func (c *Client) Query(ctx context.Context, spec *QuerySpec) (*Rows, error) {
 			select {
 			case <-ctx.Done():
 				r.sendCancel()
+				// Give the server cancelGrace to deliver its terminal
+				// frame; then force the blocked read to fail so a
+				// blackholed connection cannot pin the iterator.
+				grace := c.cancelGrace
+				if grace <= 0 {
+					grace = 2 * time.Second
+				}
+				t := time.NewTimer(grace)
+				defer t.Stop()
+				select {
+				case <-t.C:
+					r.mu.Lock()
+					if !r.finished {
+						r.conn.SetReadDeadline(time.Unix(1, 0))
+					}
+					r.mu.Unlock()
+				case <-stop:
+				}
 			case <-stop:
 			}
 		}()
@@ -166,12 +332,20 @@ func (c *Client) Query(ctx context.Context, spec *QuerySpec) (*Rows, error) {
 // exhaustion. A Rows is used by one goroutine at a time.
 type Rows struct {
 	c       *Client
+	conn    net.Conn // the connection this query runs on (stable across client reconnects)
 	cols    []string
 	parent  context.Context
 	unwatch func() // stops the context watcher goroutine
 
+	// The primed frame: with retrying on, Query reads the first response
+	// frame itself; Next consumes it before touching the socket.
+	primedT   FrameType
+	primedP   []byte
+	hasPrimed bool
+
 	pending    []fdq.Value // decoded rows not yet consumed, row-major
 	cur        []fdq.Value
+	batches    int // row batches consumed — the mid-stream line for retry safety
 	done       bool
 	closed     bool // Close was called before the terminal frame arrived
 	closeErr   error
@@ -179,6 +353,9 @@ type Rows struct {
 	err        error
 	stats      *fdq.RunStats
 	count      int
+
+	mu       sync.Mutex // guards finished against the cancel watcher
+	finished bool
 }
 
 // sendCancel ships one cancel frame, once, ignoring write errors (the
@@ -189,6 +366,9 @@ func (r *Rows) sendCancel() {
 
 // finish records the terminal state and releases the connection.
 func (r *Rows) finish(err error, stats *StatsFrame) {
+	r.mu.Lock()
+	r.finished = true
+	r.mu.Unlock()
 	r.done = true
 	r.cur = nil
 	r.unwatch()
@@ -218,9 +398,29 @@ func (r *Rows) Next() bool {
 	}
 	width := len(r.cols)
 	for len(r.pending) == 0 {
-		t, payload, err := r.c.readFrame()
+		var t FrameType
+		var payload []byte
+		var err error
+		if r.hasPrimed {
+			t, payload = r.primedT, r.primedP
+			r.hasPrimed = false
+			r.primedP = nil
+		} else {
+			t, payload, err = r.c.readFrame()
+		}
 		if err != nil {
-			r.fail(fmt.Errorf("fdqc: read stream: %w", err))
+			if ce := r.parent.Err(); ce != nil {
+				// The caller cancelled; the read failing (deadline smash,
+				// severed conn) is the mechanism, not the story.
+				r.fail(ce)
+				return false
+			}
+			var pe *ProtocolError
+			if errors.As(err, &pe) && pe.Err == nil {
+				r.fail(err) // peer desync: typed, never retried
+				return false
+			}
+			r.fail(&TransportError{Op: "recv", MidStream: r.batches > 0, Err: err})
 			return false
 		}
 		switch t {
@@ -230,11 +430,12 @@ func (r *Rows) Next() bool {
 				r.fail(err)
 				return false
 			}
+			r.batches++
 			r.pending = vals
 		case FrameStats:
 			var sf StatsFrame
 			if err := json.Unmarshal(payload, &sf); err != nil {
-				r.fail(fmt.Errorf("fdqc: stats frame: %w", err))
+				r.fail(&ProtocolError{Reason: fmt.Sprintf("malformed stats frame: %v", err)})
 				return false
 			}
 			r.finish(nil, &sf)
@@ -242,13 +443,13 @@ func (r *Rows) Next() bool {
 		case FrameError:
 			var ef ErrorFrame
 			if err := json.Unmarshal(payload, &ef); err != nil {
-				r.fail(fmt.Errorf("fdqc: error frame: %w", err))
+				r.fail(&ProtocolError{Reason: fmt.Sprintf("malformed error frame: %v", err)})
 				return false
 			}
 			r.finish(ef.Err(), nil)
 			return false
 		default:
-			r.fail(fmt.Errorf("fdqc: unexpected %c frame mid-stream", t))
+			r.fail(&ProtocolError{Reason: fmt.Sprintf("unexpected %c frame mid-stream", t)})
 			return false
 		}
 	}

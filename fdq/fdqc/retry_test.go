@@ -1,0 +1,129 @@
+package fdqc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/fdq"
+)
+
+func TestRetryPolicyDelayBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond,
+		rand: rand.New(rand.NewSource(1))}.norm()
+	for n := 1; n <= 10; n++ {
+		ceil := 10 * time.Millisecond << (n - 1)
+		if ceil > 80*time.Millisecond {
+			ceil = 80 * time.Millisecond
+		}
+		for i := 0; i < 50; i++ {
+			if d := p.delay(n, 0); d < 0 || d > ceil {
+				t.Fatalf("delay(%d) = %v outside [0, %v]", n, d, ceil)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyDelayHonorsFloor(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: time.Millisecond,
+		rand: rand.New(rand.NewSource(1))}.norm()
+	floor := 250 * time.Millisecond
+	if d := p.delay(1, floor); d < floor {
+		t.Fatalf("delay ignored the server's retry-after floor: %v < %v", d, floor)
+	}
+}
+
+func TestRetryStateExhaustsAttempts(t *testing.T) {
+	rs := newRetryState(RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond})
+	transient := &TransportError{Op: "dial", Err: errors.New("refused")}
+	ctx := context.Background()
+	if err := rs.next(ctx, transient); err != nil {
+		t.Fatalf("attempt 1→2 should retry: %v", err)
+	}
+	if err := rs.next(ctx, transient); err != nil {
+		t.Fatalf("attempt 2→3 should retry: %v", err)
+	}
+	if err := rs.next(ctx, transient); !errors.Is(err, transient) {
+		t.Fatalf("attempt 3 must exhaust MaxAttempts, got %v", err)
+	}
+}
+
+func TestRetryStateHonorsBudget(t *testing.T) {
+	rs := newRetryState(RetryPolicy{MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour, Budget: time.Millisecond})
+	transient := &TransportError{Op: "dial", Err: errors.New("refused")}
+	if err := rs.next(context.Background(), transient); !errors.Is(err, transient) {
+		t.Fatalf("an hour-long backoff must bust a 1ms budget, got %v", err)
+	}
+}
+
+func TestRetryStateHonorsContext(t *testing.T) {
+	rs := newRetryState(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour, Budget: 10 * time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := rs.next(ctx, &TransportError{Op: "dial", Err: errors.New("refused")})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ctx deadline to cut the backoff short, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("backoff ignored the context")
+	}
+}
+
+// TestRetryableTaxonomy pins the retry/no-retry line for every error
+// class the wire can produce — the safety half of automatic retry.
+func TestRetryableTaxonomy(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		want  bool
+		floor time.Duration
+	}{
+		{"nil", nil, false, 0},
+		{"over-capacity", &OverCapacityError{Msg: "full", RetryAfter: 300 * time.Millisecond}, true, 300 * time.Millisecond},
+		{"unavailable", &RemoteError{Code: CodeUnavailable, Msg: "draining"}, true, 0},
+		{"dial", &TransportError{Op: "dial", Err: errors.New("refused")}, true, 0},
+		{"hello", &TransportError{Op: "hello", Err: io.ErrUnexpectedEOF}, true, 0},
+		{"recv-pre-stream", &TransportError{Op: "recv", Err: io.ErrUnexpectedEOF}, true, 0},
+		{"recv-mid-stream", &TransportError{Op: "recv", MidStream: true, Err: io.ErrUnexpectedEOF}, false, 0},
+		{"truncation-inside-transport", &TransportError{Op: "recv", Err: &ProtocolError{Reason: "truncated", Err: io.ErrUnexpectedEOF}}, true, 0},
+		{"protocol-desync", &ProtocolError{Reason: "bad length"}, false, 0},
+		{"canceled", context.Canceled, false, 0},
+		{"deadline", context.DeadlineExceeded, false, 0},
+		{"bound-exceeded", &fdq.BoundExceededError{LogBound: 9, Budget: 4}, false, 0},
+		{"rows-exceeded", &fdq.RowsExceededError{Limit: 10}, false, 0},
+		{"panicked", &fdq.PanicError{Reason: "boom"}, false, 0},
+		{"bad-query", &RemoteError{Code: CodeBadQuery, Msg: "no such relation"}, false, 0},
+		{"internal", &RemoteError{Code: CodeInternal, Msg: "oops"}, false, 0},
+		{"net-error", &net.OpError{Op: "dial", Err: errors.New("refused")}, true, 0},
+		{"plain", errors.New("mystery"), false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, floor := Retryable(tc.err)
+			if got != tc.want || floor != tc.floor {
+				t.Fatalf("Retryable(%v) = (%v, %v), want (%v, %v)", tc.err, got, floor, tc.want, tc.floor)
+			}
+		})
+	}
+}
+
+func TestOverCapacityRoundTrip(t *testing.T) {
+	in := &OverCapacityError{Msg: "528 of 512 connections", RetryAfter: 700 * time.Millisecond}
+	env := EncodeError(in)
+	if env.Code != CodeOverCapacity || env.RetryAfterMS != 700 {
+		t.Fatalf("envelope = %+v", env)
+	}
+	out := env.Err()
+	var oe *OverCapacityError
+	if !errors.As(out, &oe) || oe.RetryAfter != 700*time.Millisecond || oe.Msg != in.Msg {
+		t.Fatalf("round trip drifted: %v", out)
+	}
+	if ok, floor := Retryable(out); !ok || floor != 700*time.Millisecond {
+		t.Fatal("over-capacity must be retryable with its hint as floor")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/fdq"
 )
@@ -46,11 +47,27 @@ const (
 	FrameError    FrameType = 'E' // JSON ErrorFrame: the query (or handshake) failed
 )
 
+// ProtocolError reports a peer that broke the framing contract: a length
+// prefix outside [1, MaxFrame], a truncated frame, a malformed batch, or a
+// frame type that cannot appear where it did. It is terminal for the
+// connection (frame boundaries are unknowable afterwards) and is never
+// retried automatically — a peer that desyncs once will desync again.
+type ProtocolError struct {
+	Reason string
+	Err    error // underlying IO error for truncation, nil otherwise
+}
+
+func (e *ProtocolError) Error() string { return "fdqc: protocol: " + e.Reason }
+
+// Unwrap exposes the underlying IO error of a truncation, so errors.Is
+// still matches io.ErrUnexpectedEOF and friends.
+func (e *ProtocolError) Unwrap() error { return e.Err }
+
 // WriteFrame writes one frame: a little-endian uint32 length (of the type
 // byte plus payload) followed by the type byte and payload.
 func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	if len(payload)+1 > MaxFrame {
-		return fmt.Errorf("fdqc: frame %c payload %d bytes exceeds the %d-byte frame cap", t, len(payload), MaxFrame)
+		return &ProtocolError{Reason: fmt.Sprintf("frame %c payload %d bytes exceeds the %d-byte frame cap", t, len(payload), MaxFrame)}
 	}
 	var hdr [5]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
@@ -62,21 +79,40 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame, enforcing the MaxFrame cap.
+// readStep bounds how much a frame read allocates ahead of the bytes that
+// have actually arrived: a lying 16 MiB length prefix on a 5-byte frame
+// costs one step, not 16 MiB.
+const readStep = 64 << 10
+
+// ReadFrame reads one frame, enforcing the MaxFrame cap. A corrupt length
+// prefix or a frame truncated by the peer yields a typed *ProtocolError;
+// an EOF cleanly between frames stays io.EOF. The payload is read (and
+// allocated) in steps, so a hostile length prefix cannot force a large
+// up-front allocation.
 func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		if err == io.EOF {
+			return 0, nil, err // clean close between frames
+		}
+		return 0, nil, &ProtocolError{Reason: fmt.Sprintf("frame header truncated: %v", err), Err: err}
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n < 1 || n > MaxFrame {
-		return 0, nil, fmt.Errorf("fdqc: frame length %d outside [1, %d]", n, MaxFrame)
+		return 0, nil, &ProtocolError{Reason: fmt.Sprintf("frame length %d outside [1, %d]", n, MaxFrame)}
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+	buf := make([]byte, min(n, readStep))
+	read := 0
+	for {
+		if _, err := io.ReadFull(r, buf[read:]); err != nil {
+			return 0, nil, &ProtocolError{Reason: fmt.Sprintf("frame truncated at %d of %d bytes: %v", read, n, err), Err: err}
+		}
+		read = len(buf)
+		if read == n {
+			return FrameType(buf[0]), buf[1:], nil
+		}
+		buf = append(buf, make([]byte, min(n-read, readStep))...)
 	}
-	return FrameType(buf[0]), buf[1:], nil
 }
 
 // Hello opens every connection, client first.
@@ -114,27 +150,35 @@ func AppendBatch(buf []byte, vals []fdq.Value, width int) []byte {
 }
 
 // DecodeBatch decodes a batch payload into row-major values, checking that
-// the batch is width-aligned.
+// the batch is width-aligned. Malformed batches yield a typed
+// *ProtocolError, and the declared row count is validated against the
+// bytes actually present (every varint is at least one byte) before any
+// allocation sized by it — a hostile count cannot force an allocation
+// larger than the payload it arrived in.
 func DecodeBatch(payload []byte, width int) ([]fdq.Value, error) {
 	n, k := binary.Uvarint(payload)
 	if k <= 0 {
-		return nil, fmt.Errorf("fdqc: malformed batch header")
+		return nil, &ProtocolError{Reason: "malformed batch header"}
 	}
 	payload = payload[k:]
 	if width <= 0 || n > uint64(MaxFrame) {
-		return nil, fmt.Errorf("fdqc: batch of %d rows at width %d", n, width)
+		return nil, &ProtocolError{Reason: fmt.Sprintf("batch of %d rows at width %d", n, width)}
 	}
-	vals := make([]fdq.Value, 0, int(n)*width)
-	for i := uint64(0); i < n*uint64(width); i++ {
+	total := n * uint64(width)
+	if total > uint64(len(payload)) {
+		return nil, &ProtocolError{Reason: fmt.Sprintf("batch declares %d values in %d payload bytes", total, len(payload))}
+	}
+	vals := make([]fdq.Value, 0, int(total))
+	for i := uint64(0); i < total; i++ {
 		v, k := binary.Varint(payload)
 		if k <= 0 {
-			return nil, fmt.Errorf("fdqc: batch truncated at value %d", i)
+			return nil, &ProtocolError{Reason: fmt.Sprintf("batch truncated at value %d", i)}
 		}
 		payload = payload[k:]
 		vals = append(vals, v)
 	}
 	if len(payload) != 0 {
-		return nil, fmt.Errorf("fdqc: %d trailing bytes after batch", len(payload))
+		return nil, &ProtocolError{Reason: fmt.Sprintf("%d trailing bytes after batch", len(payload))}
 	}
 	return vals, nil
 }
@@ -151,20 +195,39 @@ const (
 	CodeDeadline       = "deadline"        // → context.DeadlineExceeded
 	CodeBadQuery       = "bad-query"       // query spec did not resolve/validate
 	CodeUnavailable    = "unavailable"     // server is draining or refused the handshake
+	CodeOverCapacity   = "over-capacity"   // → *OverCapacityError: connection cap or tenant quota hit
 	CodeInternal       = "internal"        // anything else
 )
+
+// OverCapacityError is the server refusing a connection because its global
+// connection cap or the tenant's quota is full. It is always safe to retry
+// — the refused connection ran nothing — and RetryAfter, when nonzero, is
+// the server's hint for how long to back off first; RetryPolicy treats it
+// as a floor under its own jittered delay.
+type OverCapacityError struct {
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *OverCapacityError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("fdqc: server over capacity (retry after %v): %s", e.RetryAfter, e.Msg)
+	}
+	return "fdqc: server over capacity: " + e.Msg
+}
 
 // ErrorFrame is the typed-error envelope: a code for errors.Is dispatch
 // plus the numbers the corresponding fdq error type carries, so the
 // client-side reconstruction is payload-exact, not just sentinel-exact.
 type ErrorFrame struct {
-	Code     string   `json:"code"`
-	Msg      string   `json:"msg,omitempty"`
-	LogBound *float64 `json:"log_bound,omitempty"` // bound-exceeded: certified bound (nil = NaN)
-	Budget   *float64 `json:"budget,omitempty"`    // bound-exceeded: admission budget
-	RowLimit int      `json:"row_limit,omitempty"` // rows-exceeded: the row budget
-	MemLimit int64    `json:"mem_limit,omitempty"` // memory-exceeded: the byte budget
-	MemUsed  int64    `json:"mem_used,omitempty"`  // memory-exceeded: accounted bytes
+	Code         string   `json:"code"`
+	Msg          string   `json:"msg,omitempty"`
+	LogBound     *float64 `json:"log_bound,omitempty"`      // bound-exceeded: certified bound (nil = NaN)
+	Budget       *float64 `json:"budget,omitempty"`         // bound-exceeded: admission budget
+	RowLimit     int      `json:"row_limit,omitempty"`      // rows-exceeded: the row budget
+	MemLimit     int64    `json:"mem_limit,omitempty"`      // memory-exceeded: the byte budget
+	MemUsed      int64    `json:"mem_used,omitempty"`       // memory-exceeded: accounted bytes
+	RetryAfterMS int64    `json:"retry_after_ms,omitempty"` // over-capacity: server's backoff hint
 }
 
 // EncodeError maps an execution error onto the wire envelope. Typed fdq
@@ -189,6 +252,10 @@ func EncodeError(err error) ErrorFrame {
 	var me *fdq.MemoryExceededError
 	if errors.As(err, &me) {
 		return ErrorFrame{Code: CodeMemoryExceeded, Msg: me.Error(), MemLimit: me.Limit, MemUsed: me.Used}
+	}
+	var oe *OverCapacityError
+	if errors.As(err, &oe) {
+		return ErrorFrame{Code: CodeOverCapacity, Msg: oe.Msg, RetryAfterMS: oe.RetryAfter.Milliseconds()}
 	}
 	var pe *fdq.PanicError
 	if errors.As(err, &pe) {
@@ -220,6 +287,8 @@ func (e *ErrorFrame) Err() error {
 		return &fdq.MemoryExceededError{Limit: e.MemLimit, Used: e.MemUsed}
 	case CodePanicked:
 		return &fdq.PanicError{Reason: e.Msg}
+	case CodeOverCapacity:
+		return &OverCapacityError{Msg: e.Msg, RetryAfter: time.Duration(e.RetryAfterMS) * time.Millisecond}
 	case CodeCanceled:
 		return fmt.Errorf("fdqc: remote: %w", context.Canceled)
 	case CodeDeadline:

@@ -64,6 +64,12 @@ type Metrics struct {
 	OpenConns    atomic.Int64
 	ConnsTotal   atomic.Int64
 
+	OverCapacity    atomic.Int64 // connections refused at the server-wide MaxConns cap
+	QuotaRefused    atomic.Int64 // connections refused at a per-tenant quota
+	FrameTimeouts   atomic.Int64 // frames evicted on the slow-loris progress deadline
+	IdleEvicted     atomic.Int64 // connections evicted for sitting idle past IdleTimeout
+	AcceptThrottled atomic.Int64 // accept-loop pauses (over-capacity shedding or accept errors)
+
 	queueWait histogram // governor queue wait per admitted query
 	duration  histogram // wall-clock per finished query (admission included)
 }
@@ -111,6 +117,11 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"fdqd_rows_streamed_total", m.RowsStreamed.Load()},
 		{"fdqd_open_connections", m.OpenConns.Load()},
 		{"fdqd_connections_total", m.ConnsTotal.Load()},
+		{"fdqd_over_capacity_total", m.OverCapacity.Load()},
+		{"fdqd_quota_refused_total", m.QuotaRefused.Load()},
+		{"fdqd_frame_timeouts_total", m.FrameTimeouts.Load()},
+		{"fdqd_idle_evicted_total", m.IdleEvicted.Load()},
+		{"fdqd_accept_throttled_total", m.AcceptThrottled.Load()},
 	} {
 		fmt.Fprintf(cw, "%s %d\n", c.name, c.v)
 	}

@@ -12,10 +12,12 @@
 package fdqd
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -50,6 +52,30 @@ type Config struct {
 	IOTimeout   time.Duration
 	IdleTimeout time.Duration
 
+	// FrameTimeout bounds the arrival of a frame's remaining bytes once
+	// its first byte has been read (default: IOTimeout). This is the
+	// slow-loris defense: a peer trickling a frame byte by byte is
+	// evicted on a progress deadline, while a healthy connection sitting
+	// quietly between frames is not touched.
+	FrameTimeout time.Duration
+
+	// MaxConns caps open connections server-wide (0 = unlimited). A
+	// connection past the cap is refused with a typed over-capacity
+	// error frame carrying RetryAfter as a backoff hint, then closed —
+	// load is shed at the door, before a goroutine per socket piles up.
+	MaxConns int
+
+	// TenantQuotas caps open connections per tenant name ("" = the
+	// default tenant; other keys must exist in Tenants). A connection
+	// over its tenant's quota is refused like an over-capacity one, so
+	// one tenant's reconnect storm cannot crowd out the rest.
+	TenantQuotas map[string]int
+
+	// RetryAfter is the backoff hint carried in over-capacity refusals
+	// (default 1s). Clients with a RetryPolicy treat it as a floor under
+	// their jittered backoff.
+	RetryAfter time.Duration
+
 	// BatchRows is the row count per batch frame (default 256).
 	BatchRows int
 
@@ -63,8 +89,10 @@ type Config struct {
 // tenantState is one tenant's session; the governor (and its admission
 // queue) lives inside it.
 type tenantState struct {
-	name string
-	sess *fdq.Session
+	name  string
+	sess  *fdq.Session
+	quota int          // max open connections; 0 = unlimited
+	open  atomic.Int64 // currently open connections for this tenant
 }
 
 // Server is a running fdqd instance. Create with New.
@@ -100,6 +128,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = 5 * time.Minute
 	}
+	if cfg.FrameTimeout <= 0 {
+		cfg.FrameTimeout = cfg.IOTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	if cfg.BatchRows <= 0 {
 		cfg.BatchRows = 256
 	}
@@ -116,6 +150,19 @@ func New(cfg Config) (*Server, error) {
 			return nil, errors.New("fdqd: the default tenant is configured via DefaultGovernor, not Tenants[\"\"]")
 		}
 		s.tenants[name] = s.newTenant(name, opts)
+	}
+	for name, quota := range cfg.TenantQuotas {
+		if quota < 0 {
+			return nil, fmt.Errorf("fdqd: negative connection quota for tenant %q", name)
+		}
+		t := s.defaultTenant
+		if name != "" {
+			var ok bool
+			if t, ok = s.tenants[name]; !ok {
+				return nil, fmt.Errorf("fdqd: connection quota for unconfigured tenant %q", name)
+			}
+		}
+		t.quota = quota
 	}
 	return s, nil
 }
@@ -141,6 +188,13 @@ func (s *Server) tenant(name string) *tenantState {
 
 // Metrics exposes the server's counters (live; also served by HTTPHandler).
 func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// TenantGovernor returns the governor serving the named tenant (the
+// default tenant's when the name is empty or unknown) — the handle soak
+// and leak tests use to assert admission slots return to baseline.
+func (s *Server) TenantGovernor(name string) *fdq.Governor {
+	return s.tenant(name).sess.Governor()
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -173,13 +227,41 @@ func (s *Server) Serve(ln net.Listener) error {
 		delete(s.listeners.ls, ln)
 		s.listeners.Unlock()
 	}()
+	var acceptDelay time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if s.draining.Load() {
 				return nil
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				// EMFILE and friends: back off instead of spinning hot on
+				// an accept that will keep failing for a while.
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				s.metrics.AcceptThrottled.Add(1)
+				time.Sleep(acceptDelay)
+				continue
+			}
 			return err
+		}
+		acceptDelay = 0
+		if s.cfg.MaxConns > 0 && s.metrics.OpenConns.Load() >= int64(s.cfg.MaxConns) {
+			s.metrics.OverCapacity.Add(1)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.refuse(conn, fmt.Sprintf("server at its %d-connection cap", s.cfg.MaxConns))
+			}()
+			// Pace the loop while shedding: a connect flood should not
+			// drive the accept loop at full speed just to say no.
+			s.metrics.AcceptThrottled.Add(1)
+			time.Sleep(time.Millisecond)
+			continue
 		}
 		sc := &serverConn{s: s, conn: conn}
 		s.conns.Lock()
@@ -200,6 +282,21 @@ func (s *Server) Serve(ln net.Listener) error {
 			sc.serve()
 		}()
 	}
+}
+
+// refuse writes a typed over-capacity refusal and closes the connection.
+// The refused client sees it while reading its hello ack; RetryAfter
+// becomes the floor under a retrying client's backoff.
+func (s *Server) refuse(conn net.Conn, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.IOTimeout))
+	if payload, err := json.Marshal(fdqc.ErrorFrame{
+		Code:         fdqc.CodeOverCapacity,
+		Msg:          msg,
+		RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+	}); err == nil {
+		fdqc.WriteFrame(conn, fdqc.FrameError, payload)
+	}
+	conn.Close()
 }
 
 // Shutdown drains the server: listeners close (Serve returns), idle
@@ -256,6 +353,28 @@ type inFrame struct {
 	err     error
 }
 
+// readFrameProgress reads one frame with reader-owned deadlines: no
+// deadline while waiting for the frame to start, then a progress deadline
+// of FrameTimeout for its remaining bytes once the first byte arrives. A
+// slow loris trickling a frame byte by byte trips the deadline; a healthy
+// connection sitting quietly between frames never does.
+func (sc *serverConn) readFrameProgress() (fdqc.FrameType, []byte, error) {
+	sc.conn.SetReadDeadline(time.Time{})
+	var first [1]byte
+	if _, err := io.ReadFull(sc.conn, first[:]); err != nil {
+		return 0, nil, err
+	}
+	sc.conn.SetReadDeadline(time.Now().Add(sc.s.cfg.FrameTimeout))
+	t, payload, err := fdqc.ReadFrame(io.MultiReader(bytes.NewReader(first[:]), sc.conn))
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			sc.s.metrics.FrameTimeouts.Add(1)
+		}
+	}
+	return t, payload, err
+}
+
 func (sc *serverConn) writeFrame(t fdqc.FrameType, payload []byte) error {
 	sc.conn.SetWriteDeadline(time.Now().Add(sc.s.cfg.IOTimeout))
 	return fdqc.WriteFrame(sc.conn, t, payload)
@@ -305,14 +424,28 @@ func (sc *serverConn) serve() {
 		return
 	}
 	tenant := s.tenant(hello.Tenant)
+	tenant.open.Add(1)
+	defer tenant.open.Add(-1)
+	if tenant.quota > 0 && tenant.open.Load() > int64(tenant.quota) {
+		s.metrics.QuotaRefused.Add(1)
+		sc.writeJSON(fdqc.FrameError, fdqc.ErrorFrame{
+			Code:         fdqc.CodeOverCapacity,
+			Msg:          fmt.Sprintf("tenant %q at its %d-connection quota", tenant.name, tenant.quota),
+			RetryAfterMS: s.cfg.RetryAfter.Milliseconds(),
+		})
+		return
+	}
 	if err := sc.writeJSON(fdqc.FrameHelloAck, fdqc.HelloAck{Version: fdqc.ProtocolVersion, Server: s.cfg.Name}); err != nil {
 		return
 	}
 
-	// Read loop: all subsequent reads flow through this channel. The
-	// handler may return without draining it, so every send selects
-	// against readStop — a bare send would strand the reader (and the
-	// handler's readerDone wait) forever.
+	// Read loop: all subsequent reads flow through this channel, and the
+	// reader goroutine owns the read deadlines — no deadline while a
+	// frame has yet to start (idleness is the handler's call, below),
+	// then FrameTimeout for the rest of the frame once its first byte
+	// arrives. The handler may return without draining the channel, so
+	// every send selects against readStop — a bare send would strand the
+	// reader (and the handler's readerDone wait) forever.
 	frames := make(chan inFrame)
 	readStop := make(chan struct{})
 	readerDone := make(chan struct{})
@@ -325,7 +458,7 @@ func (sc *serverConn) serve() {
 		defer close(readerDone)
 		defer close(frames)
 		for {
-			t, payload, err := fdqc.ReadFrame(sc.conn)
+			t, payload, err := sc.readFrameProgress()
 			select {
 			case frames <- inFrame{t, payload, err}:
 			case <-readStop:
@@ -338,9 +471,19 @@ func (sc *serverConn) serve() {
 	}()
 
 	for {
-		// Idle: wait for the next query under the idle deadline.
-		sc.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		f, ok := <-frames
+		// Idle: wait for the next query under the idle timer. The reader
+		// holds no deadline of its own between frames, so eviction is
+		// decided here, where "between queries" is knowable.
+		idle := time.NewTimer(s.cfg.IdleTimeout)
+		var f inFrame
+		var ok bool
+		select {
+		case f, ok = <-frames:
+			idle.Stop()
+		case <-idle.C:
+			s.metrics.IdleEvicted.Add(1)
+			return
+		}
 		if !ok || f.err != nil {
 			return
 		}
@@ -363,9 +506,6 @@ func (sc *serverConn) serve() {
 			return
 		}
 		sc.busy.Store(true)
-		// Long queries own the read side: lift the idle deadline so a
-		// cancel frame can arrive whenever the client sends one.
-		sc.conn.SetReadDeadline(time.Time{})
 		ok = sc.runQuery(tenant, &spec, frames)
 		sc.busy.Store(false)
 		if !ok {

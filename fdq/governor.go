@@ -168,6 +168,20 @@ func NewGovernor(opts ...GovernorOption) *Governor {
 	return g
 }
 
+// InFlight reports the admission-semaphore units currently held — the
+// live weight of queued-policy queries past admission and not yet
+// finished. It is 0 for nil governors and non-queue policies (they hold
+// no slots). Soak and leak tests assert it returns to baseline after the
+// clients vanish: a nonzero resting value is a leaked admission slot.
+func (g *Governor) InFlight() int64 {
+	if g == nil || g.sem == nil {
+		return 0
+	}
+	g.sem.mu.Lock()
+	defer g.sem.mu.Unlock()
+	return g.sem.cur
+}
+
 // overBudget reports whether a certified bound exceeds the budget;
 // uncertified bounds (NaN, +Inf) exceed any finite budget.
 func (g *Governor) overBudget(logBound float64) bool {

@@ -117,6 +117,11 @@ func NewSession(cat *Catalog, opts ...SessionOption) *Session {
 	return s
 }
 
+// Governor returns the session's governor (nil when ungoverned) — the
+// handle observability layers use to read admission state such as
+// InFlight without holding their own reference.
+func (s *Session) Governor() *Governor { return s.gov }
+
 // CacheStats returns a snapshot of the prepared-shape cache counters.
 func (s *Session) CacheStats() CacheStats {
 	s.mu.Lock()

@@ -1,0 +1,384 @@
+// Package chaosproxy is an in-process TCP proxy that injects network
+// faults on a deterministic, seedable schedule — the test double for a
+// hostile network. A Proxy sits between an fdqc client and an fdqd server
+// (or any TCP pair) and forwards bytes through a per-direction shaper that
+// applies the schedule's rules: injected latency, bandwidth throttling,
+// partial writes, abrupt RST, silent blackhole, and mid-frame connection
+// drop, each activating at an exact byte offset in an exact direction on
+// an exact connection. Because activation is keyed on (connection index,
+// direction, byte offset) and jitter comes from a seeded PRNG, every fault
+// a schedule describes is reproducible run over run — chaos suitable for
+// CI, not just for soak boxes.
+//
+// The proxy never inspects frames; it shapes the byte stream. That is
+// deliberate: the resilience contract under test is the wire protocol's
+// (fdq/fdqc), and a fault injector that understood frames could only cut
+// on boundaries the implementation finds convenient.
+package chaosproxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dir selects the direction a rule shapes.
+type Dir int
+
+const (
+	// Up shapes client→server bytes (queries, cancels).
+	Up Dir = iota
+	// Down shapes server→client bytes (hello acks, batches, errors).
+	Down
+)
+
+// String names the direction for schedule descriptions.
+func (d Dir) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Kind is the fault a rule injects.
+type Kind int
+
+const (
+	// Latency sleeps Delay (± deterministic jitter) before forwarding
+	// each read chunk, once Off bytes have been forwarded.
+	Latency Kind = iota
+	// Throttle caps forwarding at BPS bytes per second from Off on.
+	Throttle
+	// Chunk splits every forward into writes of at most N bytes —
+	// partial writes that land frame fragments in separate segments.
+	Chunk
+	// RST forwards exactly Off bytes, then aborts both legs of the
+	// connection with a TCP reset (SO_LINGER 0): the peer sees ECONNRESET,
+	// possibly mid-frame.
+	RST
+	// Blackhole forwards exactly Off bytes, then silently discards
+	// everything after them: the connection stays open, bytes vanish, and
+	// the peer learns nothing until its own deadline fires.
+	Blackhole
+	// Drop forwards exactly Off bytes, then closes both legs cleanly
+	// (FIN). With Off inside a frame this is the classic mid-frame
+	// connection drop.
+	Drop
+)
+
+// String names the kind for schedule descriptions.
+func (k Kind) String() string {
+	switch k {
+	case Latency:
+		return "latency"
+	case Throttle:
+		return "throttle"
+	case Chunk:
+		return "chunk"
+	case RST:
+		return "rst"
+	case Blackhole:
+		return "blackhole"
+	case Drop:
+		return "drop"
+	}
+	return "unknown"
+}
+
+// Rule is one fault: Kind applied in Dir starting at byte offset Off, on
+// connection Conn (the proxy's accept index, 0-based) or on every
+// connection when Conn is -1. Latency/Throttle/Chunk are continuous —
+// they shape everything from Off on; RST/Blackhole/Drop are terminal —
+// they fire exactly when the Off'th byte would be forwarded.
+type Rule struct {
+	Dir  Dir
+	Kind Kind
+	Off  int64 // byte offset in Dir at which the rule activates
+	Conn int   // accept index the rule applies to; -1 = every connection
+
+	Delay time.Duration // Latency: injected delay per forwarded chunk
+	BPS   int           // Throttle: bytes per second
+	N     int           // Chunk: max bytes per write
+}
+
+// Schedule is a named, reproducible fault plan. Jitter (when nonzero)
+// spreads each Latency rule's delay uniformly over ±Jitter using a PRNG
+// seeded from Seed and the connection index, so reruns see identical
+// perturbations.
+type Schedule struct {
+	Name   string
+	Seed   int64
+	Jitter time.Duration
+	Rules  []Rule
+}
+
+// Clean is the no-fault schedule: the proxy forwards transparently. It is
+// the control cell of every chaos matrix — a scenario that cannot pass
+// through a clean proxy has a harness bug, not a resilience bug.
+func Clean() Schedule { return Schedule{Name: "clean"} }
+
+// Proxy is a running chaos proxy: a loopback listener forwarding every
+// accepted connection to the target through the schedule's shapers.
+type Proxy struct {
+	target string
+	sched  Schedule
+
+	ln      net.Listener
+	seq     atomic.Int64 // accept index
+	active  atomic.Int64 // currently open proxied connections
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+}
+
+// New starts a proxy on a fresh loopback port forwarding to target (a
+// host:port) under the schedule.
+func New(target string, sched Schedule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaosproxy: listen: %w", err)
+	}
+	p := &Proxy{target: target, sched: sched, ln: ln, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's dialable address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Active reports how many proxied connections are currently open.
+func (p *Proxy) Active() int { return int(p.active.Load()) }
+
+// Close stops accepting, severs every proxied connection, and waits for
+// the forwarding goroutines to exit.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.connsMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connsMu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // Close, or a dead listener: either way the proxy is done
+		}
+		idx := int(p.seq.Add(1) - 1)
+		p.wg.Add(1)
+		go p.handle(client, idx)
+	}
+}
+
+// track registers a conn for Close teardown; untrack forgets it.
+func (p *Proxy) track(c net.Conn) bool {
+	p.connsMu.Lock()
+	defer p.connsMu.Unlock()
+	if p.closed.Load() {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.connsMu.Lock()
+	delete(p.conns, c)
+	p.connsMu.Unlock()
+}
+
+func (p *Proxy) handle(client net.Conn, idx int) {
+	defer p.wg.Done()
+	server, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(server) {
+		client.Close()
+		server.Close()
+		p.untrack(client)
+		return
+	}
+	p.active.Add(1)
+	defer func() {
+		client.Close()
+		server.Close()
+		p.untrack(client)
+		p.untrack(server)
+		p.active.Add(-1)
+	}()
+
+	// kill severs both legs at once — terminal rules call it from either
+	// pump; sync.Once keeps the two pumps from double-acting.
+	var killOnce sync.Once
+	kill := func(rst bool) {
+		killOnce.Do(func() {
+			if rst {
+				if tc, ok := client.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+				if tc, ok := server.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+			}
+			client.Close()
+			server.Close()
+		})
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.pump(server, client, Up, idx, kill) }()
+	go func() { defer wg.Done(); p.pump(client, server, Down, idx, kill) }()
+	wg.Wait()
+}
+
+// pumpState is one direction's shaping state.
+type pumpState struct {
+	rules      []Rule // rules for this (dir, conn)
+	fwd        int64  // bytes forwarded so far
+	blackholed bool   // a Blackhole rule fired: discard everything
+	rng        *rand.Rand
+}
+
+// pump copies src→dst applying the schedule for (dir, idx). It returns
+// when the source is exhausted, a terminal rule fires, or a write fails.
+func (p *Proxy) pump(dst, src net.Conn, dir Dir, idx int, kill func(rst bool)) {
+	st := pumpState{rng: rand.New(rand.NewSource(p.sched.Seed ^ int64(idx*2+int(dir)+1)))}
+	for _, r := range p.sched.Rules {
+		if r.Dir == dir && (r.Conn < 0 || r.Conn == idx) {
+			st.rules = append(st.rules, r)
+		}
+	}
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if !p.forward(dst, buf[:n], &st, kill) {
+				return
+			}
+		}
+		if err != nil {
+			// Clean EOF propagates as a half-close so the peer sees FIN in
+			// this direction but can keep using the other.
+			if errors.Is(err, io.EOF) {
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+			}
+			return
+		}
+	}
+}
+
+// forward ships one read chunk through the shapers. It reports whether
+// the pump should continue.
+func (p *Proxy) forward(dst net.Conn, chunk []byte, st *pumpState, kill func(rst bool)) bool {
+	if st.blackholed {
+		st.fwd += int64(len(chunk))
+		return true
+	}
+	for len(chunk) > 0 {
+		// Nearest terminal boundary at or after the current offset.
+		termOff := int64(-1)
+		var termKind Kind
+		for _, r := range st.rules {
+			if r.Kind != RST && r.Kind != Blackhole && r.Kind != Drop {
+				continue
+			}
+			if r.Off >= st.fwd && (termOff < 0 || r.Off < termOff) {
+				termOff, termKind = r.Off, r.Kind
+			}
+		}
+		piece := chunk
+		if termOff >= 0 && int64(len(piece)) > termOff-st.fwd {
+			piece = piece[:termOff-st.fwd]
+		}
+		if len(piece) > 0 {
+			if !p.ship(dst, piece, st) {
+				kill(false)
+				return false
+			}
+			st.fwd += int64(len(piece))
+			chunk = chunk[len(piece):]
+			continue
+		}
+		// The terminal rule fires exactly here.
+		switch termKind {
+		case RST:
+			kill(true)
+			return false
+		case Drop:
+			kill(false)
+			return false
+		case Blackhole:
+			// Swallow this and everything after it: keep draining the
+			// source so the peer never blocks on a send, deliver nothing.
+			st.fwd += int64(len(chunk))
+			st.rules = nil // nothing downstream of a blackhole matters
+			st.blackholed = true
+			return true
+		}
+	}
+	return true
+}
+
+// ship writes one piece applying the continuous shapers (latency,
+// throttle, chunking) active at the current offset.
+func (p *Proxy) ship(dst net.Conn, piece []byte, st *pumpState) bool {
+	var delay time.Duration
+	bps, chunkN := 0, 0
+	for _, r := range st.rules {
+		if r.Off > st.fwd {
+			continue
+		}
+		switch r.Kind {
+		case Latency:
+			delay += r.Delay
+			if j := p.sched.Jitter; j > 0 {
+				delay += time.Duration(st.rng.Int63n(int64(2*j))) - j
+			}
+		case Throttle:
+			if r.BPS > 0 && (bps == 0 || r.BPS < bps) {
+				bps = r.BPS
+			}
+		case Chunk:
+			if r.N > 0 && (chunkN == 0 || r.N < chunkN) {
+				chunkN = r.N
+			}
+		}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	for len(piece) > 0 {
+		w := piece
+		if chunkN > 0 && len(w) > chunkN {
+			w = w[:chunkN]
+		}
+		if _, err := dst.Write(w); err != nil {
+			return false
+		}
+		if bps > 0 {
+			time.Sleep(time.Duration(float64(len(w)) / float64(bps) * float64(time.Second)))
+		}
+		piece = piece[len(w):]
+	}
+	return true
+}

@@ -1,0 +1,266 @@
+package chaosproxy
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startEcho runs a TCP echo server for the test, returning its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		wg.Wait()
+	})
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// roundTrip writes msg and reads len(msg) bytes back through the echo.
+func roundTrip(t *testing.T, c net.Conn, msg []byte) []byte {
+	t.Helper()
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return got
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	p, err := New(startEcho(t), Clean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	msg := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KiB, several read chunks
+	if got := roundTrip(t, c, msg); !bytes.Equal(got, msg) {
+		t.Fatal("payload corrupted through clean proxy")
+	}
+}
+
+// TestShapingPreservesBytes: latency, throttle, and 3-byte chunking slow
+// the stream down but must never corrupt or reorder it.
+func TestShapingPreservesBytes(t *testing.T) {
+	p, err := New(startEcho(t), Schedule{
+		Name: "shaped",
+		Seed: 42,
+		Rules: []Rule{
+			{Dir: Down, Kind: Latency, Conn: -1, Delay: 2 * time.Millisecond},
+			{Dir: Down, Kind: Chunk, Conn: -1, N: 3},
+			{Dir: Up, Kind: Throttle, Conn: -1, BPS: 1 << 20},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	msg := bytes.Repeat([]byte("xyzzy"), 2000)
+	start := time.Now()
+	if got := roundTrip(t, c, msg); !bytes.Equal(got, msg) {
+		t.Fatal("payload corrupted through shaped proxy")
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("latency rule did not slow the stream")
+	}
+}
+
+// TestDropAtOffset: the peer sees exactly Off bytes, then EOF.
+func TestDropAtOffset(t *testing.T) {
+	const off = 100
+	p, err := New(startEcho(t), Schedule{
+		Name:  "drop",
+		Rules: []Rule{{Dir: Down, Kind: Drop, Off: off, Conn: -1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := c.Write(make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got, err := io.ReadAll(c)
+	if len(got) != off {
+		t.Fatalf("received %d bytes before drop, want exactly %d (err %v)", len(got), off, err)
+	}
+}
+
+// TestRSTAtOffset: after Off bytes the client's next read fails hard —
+// a reset or abrupt close, not a clean stall.
+func TestRSTAtOffset(t *testing.T) {
+	const off = 64
+	p, err := New(startEcho(t), Schedule{
+		Name:  "rst",
+		Rules: []Rule{{Dir: Down, Kind: RST, Off: off, Conn: -1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := c.Write(make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	n, err := io.ReadFull(c, make([]byte, 500))
+	if n > off {
+		t.Fatalf("received %d bytes, want at most %d", n, off)
+	}
+	if err == nil || os.IsTimeout(err) {
+		t.Fatalf("want an abrupt connection error, got %v after %d bytes", err, n)
+	}
+}
+
+// TestBlackholeAtOffset: bytes past Off vanish silently — the connection
+// stays open and the reader blocks until its own deadline.
+func TestBlackholeAtOffset(t *testing.T) {
+	const off = 32
+	p, err := New(startEcho(t), Schedule{
+		Name:  "blackhole",
+		Rules: []Rule{{Dir: Down, Kind: Blackhole, Off: off, Conn: -1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := c.Write(make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, off)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("the first %d bytes must still arrive: %v", off, err)
+	}
+	c.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := c.Read(make([]byte, 1)); !os.IsTimeout(err) {
+		t.Fatalf("want a silent stall (timeout), got n=%d err=%v", n, err)
+	}
+	// The connection is stalled, not dead: a second short read also times
+	// out rather than erroring.
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); !os.IsTimeout(err) {
+		t.Fatalf("blackholed connection died: %v", err)
+	}
+}
+
+// TestPerConnRule: a Conn-scoped terminal fault hits exactly that accept
+// index; the next connection sails through — the property client retry
+// logic leans on.
+func TestPerConnRule(t *testing.T) {
+	p, err := New(startEcho(t), Schedule{
+		Name:  "first-conn-drop",
+		Rules: []Rule{{Dir: Down, Kind: Drop, Off: 10, Conn: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c0 := dialProxy(t, p)
+	if _, err := c0.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	c0.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if got, _ := io.ReadAll(c0); len(got) != 10 {
+		t.Fatalf("conn 0: got %d bytes, want 10 then drop", len(got))
+	}
+
+	c1 := dialProxy(t, p)
+	msg := bytes.Repeat([]byte("ok"), 200)
+	if got := roundTrip(t, c1, msg); !bytes.Equal(got, msg) {
+		t.Fatal("conn 1 must be clean")
+	}
+}
+
+// TestCloseSeversEverything: Close tears down active connections and the
+// listener; no goroutine hangs (the test would time out if one did).
+func TestCloseSeversEverything(t *testing.T) {
+	p, err := New(startEcho(t), Clean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialProxy(t, p)
+	if got := roundTrip(t, c, []byte("hello")); !bytes.Equal(got, []byte("hello")) {
+		t.Fatal("round trip")
+	}
+	if p.Active() != 1 {
+		t.Fatalf("Active = %d, want 1", p.Active())
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived proxy Close")
+	}
+	if _, err := net.DialTimeout("tcp", p.Addr(), 200*time.Millisecond); err == nil {
+		t.Fatal("listener survived proxy Close")
+	}
+}
+
+// TestDialFailureClosesClient: a proxy whose target is unreachable closes
+// the accepted client connection instead of leaking it.
+func TestDialFailureClosesClient(t *testing.T) {
+	// A listener we close immediately: the address is valid, nothing
+	// accepts there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	p, err := New(dead, Clean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, io.EOF) && err == nil {
+		t.Fatalf("want closed connection, got %v", err)
+	}
+}

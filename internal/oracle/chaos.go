@@ -1,0 +1,279 @@
+package oracle
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"slices"
+	"time"
+
+	"repro/fdq"
+	"repro/fdq/fdqc"
+	"repro/fdq/fdqd"
+	"repro/internal/chaosproxy"
+	"repro/internal/naive"
+	"repro/internal/rel"
+	"repro/internal/scenario"
+)
+
+// ChaosResult is the conformance record of one scenario instance run
+// across a hostile network: the network matrix re-run behind the chaos
+// proxy, one cell per fault schedule. Every cell must end in one of two
+// states — a result byte-identical to the naive reference (the retry
+// machinery absorbed the fault invisibly), or a typed error the caller
+// can act on. A mystery error, a drifted result, or a leaked goroutine
+// fails the cell.
+type ChaosResult struct {
+	Scenario string        `json:"scenario"`
+	Checks   []CheckResult `json:"checks"`
+	Skipped  string        `json:"skipped,omitempty"` // scenario cannot cross the wire
+	Pass     bool          `json:"pass"`
+	Failures []string      `json:"failures,omitempty"`
+	Millis   float64       `json:"millis"`
+}
+
+func (r *ChaosResult) fail(format string, args ...any) {
+	r.Pass = false
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// chaosCell is one fault schedule in the matrix plus the verdict it is
+// held to. mustMatch cells describe faults the client's retry policy is
+// contractually able to absorb (pre-stream failures on one connection);
+// their result must be byte-identical to the reference. The remaining
+// cells may instead surface a typed error — but never an untyped one.
+type chaosCell struct {
+	name      string
+	sched     chaosproxy.Schedule
+	mustMatch bool
+	ioTimeout time.Duration // 0 = the matrix default
+}
+
+// downAckSize is the encoded size of the server's hello-ack frame: the
+// byte offset at which the downstream query response begins.
+func downAckSize(server string) int64 {
+	p, _ := json.Marshal(fdqc.HelloAck{Version: fdqc.ProtocolVersion, Server: server})
+	return int64(5 + len(p))
+}
+
+// upHelloSize is the encoded size of the client's hello frame: the byte
+// offset at which the upstream query frame begins.
+func upHelloSize(tenant string) int64 {
+	p, _ := json.Marshal(fdqc.Hello{Version: fdqc.ProtocolVersion, Tenant: tenant})
+	return int64(5 + len(p))
+}
+
+// chaosMatrix is the fault-schedule battery every scenario runs behind.
+// Terminal offsets are computed from the wire protocol's own encoding so
+// each fault lands in the phase it names, regardless of payload sizes.
+func chaosMatrix() []chaosCell {
+	ack := downAckSize("fdqd")
+	hello := upHelloSize("")
+	return []chaosCell{
+		// The control cell: a scenario that cannot pass a clean proxy has a
+		// harness bug, not a resilience bug.
+		{name: "clean", sched: chaosproxy.Clean(), mustMatch: true},
+
+		{name: "latency", mustMatch: true, sched: chaosproxy.Schedule{
+			Name: "latency", Seed: 1, Jitter: 500 * time.Microsecond,
+			Rules: []chaosproxy.Rule{
+				{Dir: chaosproxy.Up, Kind: chaosproxy.Latency, Conn: -1, Delay: time.Millisecond},
+				{Dir: chaosproxy.Down, Kind: chaosproxy.Latency, Conn: -1, Delay: time.Millisecond},
+			}}},
+
+		// Pathological segmentation: every frame arrives fragmented, in both
+		// directions. Decoding must reassemble without caring.
+		{name: "chunk", mustMatch: true, sched: chaosproxy.Schedule{
+			Name: "chunk",
+			Rules: []chaosproxy.Rule{
+				{Dir: chaosproxy.Up, Kind: chaosproxy.Chunk, Conn: -1, N: 5},
+				{Dir: chaosproxy.Down, Kind: chaosproxy.Chunk, Conn: -1, N: 3},
+			}}},
+
+		{name: "throttle", mustMatch: true, sched: chaosproxy.Schedule{
+			Name: "throttle",
+			Rules: []chaosproxy.Rule{
+				{Dir: chaosproxy.Down, Kind: chaosproxy.Throttle, Conn: -1, BPS: 512 << 10},
+			}}},
+
+		// The first connection dies with a TCP reset four bytes into the
+		// query response; nothing has streamed, so the retry policy must
+		// reconnect and re-run invisibly.
+		{name: "rst-first-conn", mustMatch: true, sched: chaosproxy.Schedule{
+			Name: "rst-first-conn",
+			Rules: []chaosproxy.Rule{
+				{Dir: chaosproxy.Down, Kind: chaosproxy.RST, Off: ack + 4, Conn: 0},
+			}}},
+
+		// The first connection's hello ack never arrives: the dial times out
+		// at the client's IO deadline and retries onto a clean connection.
+		{name: "blackhole-hello", mustMatch: true, ioTimeout: time.Second, sched: chaosproxy.Schedule{
+			Name: "blackhole-hello",
+			Rules: []chaosproxy.Rule{
+				{Dir: chaosproxy.Down, Kind: chaosproxy.Blackhole, Off: 0, Conn: 0},
+			}}},
+
+		// The first connection dies mid-query-frame on the way up; the
+		// server never sees a complete query, so nothing ran and the retry
+		// is safe by construction.
+		{name: "drop-upstream", mustMatch: true, sched: chaosproxy.Schedule{
+			Name: "drop-upstream",
+			Rules: []chaosproxy.Rule{
+				{Dir: chaosproxy.Up, Kind: chaosproxy.Drop, Off: hello + 4, Conn: 0},
+			}}},
+
+		// Every connection drops 2KiB into the response. Small results fit
+		// under the offset and must come back identical; larger ones die
+		// mid-stream, where silent re-runs are forbidden — the client must
+		// surrender with a typed error instead.
+		{name: "drop-mid-stream", mustMatch: false, sched: chaosproxy.Schedule{
+			Name: "drop-mid-stream",
+			Rules: []chaosproxy.Rule{
+				{Dir: chaosproxy.Down, Kind: chaosproxy.Drop, Off: 2 << 10, Conn: -1},
+			}}},
+	}
+}
+
+// typedNetError reports whether err is one of the typed errors the
+// resilience contract permits a chaos cell to surface: transport and
+// protocol failures, remote refusals, over-capacity hints, and context
+// verdicts. Anything else is a mystery error and fails the cell.
+func typedNetError(err error) bool {
+	var te *fdqc.TransportError
+	var pe *fdqc.ProtocolError
+	var re *fdqc.RemoteError
+	var oc *fdqc.OverCapacityError
+	return errors.As(err, &te) || errors.As(err, &pe) || errors.As(err, &re) ||
+		errors.As(err, &oc) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// CheckChaosInstance re-runs one scenario instance across the full chaos
+// matrix: an fdqd server on a loopback listener, an fdqc client with a
+// retry policy, and a fresh chaos proxy per cell. Scenarios that cannot
+// cross the wire are skipped exactly as in the network oracle.
+func CheckChaosInstance(ctx context.Context, in scenario.Instance) (res ChaosResult) {
+	start := time.Now()
+	res = ChaosResult{Scenario: in.Name, Pass: true}
+	defer func() { res.Millis = float64(time.Since(start).Microseconds()) / 1000 }()
+
+	q := in.Build()
+	spec, err := fdqc.FromQuery(q)
+	if err != nil {
+		res.Skipped = err.Error()
+		return res
+	}
+	cat, err := networkCatalog(q)
+	if err != nil {
+		res.Skipped = err.Error()
+		return res
+	}
+	want := naive.Evaluate(q)
+
+	base := runtime.NumGoroutine()
+	defer func() {
+		// Runs after the server shutdown below: every cell's proxy, client
+		// watcher, and server handler must be gone.
+		if !settleGoroutines(base) {
+			res.fail("goroutine leak across chaos matrix: %d running, baseline %d",
+				runtime.NumGoroutine(), base)
+		}
+	}()
+
+	srv, err := fdqd.New(fdqd.Config{Catalog: cat})
+	if err != nil {
+		res.fail("server: %v", err)
+		return res
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		res.fail("listen: %v", err)
+		return res
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			res.fail("shutdown: %v", err)
+		}
+		if err := <-served; err != nil {
+			res.fail("serve: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	policy := fdqc.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   5 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Budget:      10 * time.Second,
+	}
+
+	for _, cell := range chaosMatrix() {
+		cr := CheckResult{Check: "chaos/" + cell.name, Status: StatusPass}
+		if err := runChaosCell(ctx, addr, cell, policy, spec, want); err != nil {
+			cr.Status = StatusFail
+			cr.Detail = err.Error()
+			res.fail("chaos/%s: %v", cell.name, err)
+		}
+		res.Checks = append(res.Checks, cr)
+	}
+	return res
+}
+
+// runChaosCell runs one (scenario, schedule) cell: dial through a fresh
+// proxy, collect, and hold the outcome to the cell's verdict.
+func runChaosCell(ctx context.Context, addr string, cell chaosCell, policy fdqc.RetryPolicy, spec *fdqc.QuerySpec, want *rel.Relation) error {
+	px, err := chaosproxy.New(addr, cell.sched)
+	if err != nil {
+		return fmt.Errorf("proxy: %w", err)
+	}
+	defer px.Close()
+
+	iot := cell.ioTimeout
+	if iot == 0 {
+		iot = 5 * time.Second
+	}
+	c, err := fdqc.Dial(px.Addr(),
+		fdqc.WithIOTimeout(iot),
+		fdqc.WithDialTimeout(2*time.Second),
+		fdqc.WithRetryPolicy(policy))
+	if err != nil {
+		if cell.mustMatch {
+			return fmt.Errorf("dial must succeed under %s: %w", cell.sched.Name, err)
+		}
+		if !typedNetError(err) {
+			return fmt.Errorf("dial failed with an untyped error: %w", err)
+		}
+		return nil
+	}
+	defer c.Close()
+
+	got, stats, err := c.Collect(ctx, spec)
+	if err != nil {
+		if cell.mustMatch {
+			return fmt.Errorf("retry must absorb %s: %w", cell.sched.Name, err)
+		}
+		if !typedNetError(err) {
+			return fmt.Errorf("untyped failure: %w", err)
+		}
+		return nil
+	}
+	if len(got) != want.Len() {
+		return fmt.Errorf("%d rows, naive reference %d", len(got), want.Len())
+	}
+	for i := range got {
+		if !slices.Equal(got[i], []fdq.Value(want.Row(i))) {
+			return fmt.Errorf("row %d drifted: %v vs reference %v", i, got[i], want.Row(i))
+		}
+	}
+	if stats == nil || stats.Rows != want.Len() {
+		return fmt.Errorf("stats frame lost or wrong: %+v", stats)
+	}
+	return nil
+}
