@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestAPILines(t *testing.T) {
+	dir := t.TempDir()
+	src := `package sample
+
+const Version = "1"
+const hidden = "2"
+
+var Debug bool
+
+// Widget is exported with a mixed field set.
+type Widget struct {
+	Name string
+	size int
+}
+
+// Sizer is an exported interface.
+type Sizer interface {
+	Size() int
+	grow(by int)
+}
+
+// Alias is an alias declaration.
+type Alias = Widget
+
+type internal struct{}
+
+func New(name string) *Widget { return &Widget{Name: name} }
+
+func helper() {}
+
+func (w *Widget) Size() int { return len(w.Name) }
+
+func (i internal) Size() int { return 0 }
+`
+	if err := os.WriteFile(filepath.Join(dir, "sample.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A test file must be filtered out of the surface.
+	if err := os.WriteFile(filepath.Join(dir, "sample_test.go"), []byte("package sample\n\nfunc TestOnly() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lines, err := apiLines(dir)
+	if err != nil {
+		t.Fatalf("apiLines: %v", err)
+	}
+	got := map[string]bool{}
+	for _, l := range lines {
+		got[l] = true
+	}
+	for _, want := range []string{
+		`const Version`,
+		`var Debug bool`,
+		`type Widget struct`,
+		`field Widget.Name string`,
+		`type Sizer interface`,
+		`method Sizer.Sizefunc() int`,
+		`type Alias = Widget`,
+		`func New(name string) *Widget`,
+		`func (w *Widget) Size() int`,
+	} {
+		if !got[want] {
+			t.Errorf("missing line %q in:\n%v", want, lines)
+		}
+	}
+	for _, absent := range []string{"hidden", "size", "grow", "internal", "helper", "TestOnly"} {
+		for _, l := range lines {
+			if containsWord(l, absent) {
+				t.Errorf("unexported/test symbol %q leaked into line %q", absent, l)
+			}
+		}
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Error("apiLines output is not sorted")
+	}
+}
+
+// containsWord reports whether l mentions sym as a standalone token
+// (avoiding false hits like "Size" inside "Sizer").
+func containsWord(l, sym string) bool {
+	for i := 0; i+len(sym) <= len(l); i++ {
+		if l[i:i+len(sym)] != sym {
+			continue
+		}
+		beforeOK := i == 0 || !isWordByte(l[i-1])
+		after := i + len(sym)
+		afterOK := after == len(l) || !isWordByte(l[after])
+		if beforeOK && afterOK {
+			return true
+		}
+	}
+	return false
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z') || ('0' <= b && b <= '9')
+}
+
+func TestAPILinesBadDir(t *testing.T) {
+	if _, err := apiLines("/does-not-exist-xyzzy"); err == nil {
+		t.Fatal("apiLines of a nonexistent directory succeeded")
+	}
+}
+
+func TestDiffLines(t *testing.T) {
+	want := []string{"func A()", "func B()", "func C()"}
+	got := []string{"func A()", "func C()", "func D()"}
+	diff := diffLines(want, got)
+	expect := []string{"- func B()", "+ func D()"}
+	if !reflect.DeepEqual(diff, expect) {
+		t.Errorf("diffLines = %v, want %v", diff, expect)
+	}
+	if d := diffLines(want, want); len(d) != 0 {
+		t.Errorf("identical listings diffed: %v", d)
+	}
+}

@@ -97,13 +97,15 @@ func main() {
 	}
 
 	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
 	row := make([]string, len(spec.Vars))
 	for _, r := range got {
 		for i, v := range r {
 			row[i] = strconv.FormatInt(v, 10)
 		}
 		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	if err := w.Flush(); err != nil {
+		fatal(1, fmt.Errorf("writing result: %w", err))
 	}
 	if *stats && st != nil {
 		fmt.Fprintf(os.Stderr, "stats: alg=%s workers=%d rows=%d dur=%v queue=%v degraded=%v morsels=%d steals=%d\n",

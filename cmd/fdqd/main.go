@@ -152,7 +152,7 @@ func parseGovSpec(spec string) ([]fdq.GovernorOption, error) {
 		case "bound":
 			b, err := strconv.ParseFloat(v, 64)
 			if err != nil {
-				return nil, fmt.Errorf("bound: %v", err)
+				return nil, fmt.Errorf("bound: %w", err)
 			}
 			opts = append(opts, fdq.WithMaxLogBound(b))
 		case "policy":
@@ -169,25 +169,25 @@ func parseGovSpec(spec string) ([]fdq.GovernorOption, error) {
 		case "rows":
 			n, err := strconv.Atoi(v)
 			if err != nil {
-				return nil, fmt.Errorf("rows: %v", err)
+				return nil, fmt.Errorf("rows: %w", err)
 			}
 			opts = append(opts, fdq.WithMaxRows(n))
 		case "mem":
 			n, err := parseBytes(v)
 			if err != nil {
-				return nil, fmt.Errorf("mem: %v", err)
+				return nil, fmt.Errorf("mem: %w", err)
 			}
 			opts = append(opts, fdq.WithMaxMemory(n))
 		case "degrade":
 			n, err := strconv.Atoi(v)
 			if err != nil {
-				return nil, fmt.Errorf("degrade: %v", err)
+				return nil, fmt.Errorf("degrade: %w", err)
 			}
 			opts = append(opts, fdq.WithDegradeLimit(n))
 		case "timeout":
 			d, err := time.ParseDuration(v)
 			if err != nil {
-				return nil, fmt.Errorf("timeout: %v", err)
+				return nil, fmt.Errorf("timeout: %w", err)
 			}
 			opts = append(opts, fdq.WithQueryTimeout(d))
 		default:

@@ -1,0 +1,100 @@
+// Command fdqvet is the repository's invariant checker: a multichecker of
+// custom static analyzers (internal/lint) that mechanically enforce the
+// contracts this codebase leans on — the rel.Sink Push-return protocol,
+// executor cancellation checks, "// guarded by <mu>" field annotations,
+// the fdqc typed-error envelope round-trip, timer/cancel lifetimes, and
+// struct layout on hot types. Each analyzer was seeded by a bug class that
+// actually shipped here; fdqvet exists so the next instance is a build
+// break, not a code-review catch.
+//
+// Usage:
+//
+//	go run ./cmd/fdqvet ./...             # the gating CI invocation
+//	go run ./cmd/fdqvet -list             # what runs, and why
+//	go run ./cmd/fdqvet -only sinkcheck,ctxloop ./internal/...
+//
+// Exit status: 0 clean, 1 findings, 2 operational failure (bad patterns,
+// packages that do not compile). Deliberate exceptions are suppressed in
+// the source with
+//
+//	//lint:ignore fdqvet/<analyzer> <reason>
+//
+// on (or on the line above) the flagged line; the reason is mandatory and
+// an ignore without one is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], "", os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind the os.Exit boundary: dir is the
+// working directory for package loading ("" = current), and the return
+// value is the process exit status.
+func run(args []string, dir string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdqvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(stderr, "fdqvet: unknown analyzer %q (use -list)\n", name)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	findings, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "fdqvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runFdqvet invokes run with captured output and returns (exit, stdout, stderr).
+func runFdqvet(t *testing.T, args []string, dir string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, dir, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runFdqvet(t, []string{"-list"}, "")
+	if code != 0 {
+		t.Fatalf("-list exited %d, want 0", code)
+	}
+	for _, name := range []string{"sinkcheck", "ctxloop", "lockguard", "errtaxonomy", "timerstop", "structalign"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errOut := runFdqvet(t, []string{"-only", "nosuch", "./..."}, "")
+	if code != 2 {
+		t.Fatalf("-only nosuch exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown analyzer") {
+		t.Errorf("stderr missing diagnostic: %q", errOut)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runFdqvet(t, []string{"-definitely-not-a-flag"}, ""); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	if code, _, _ := runFdqvet(t, []string{"./does-not-exist-xyzzy"}, ""); code != 2 {
+		t.Fatalf("bad pattern exited %d, want 2", code)
+	}
+}
+
+// TestCleanPackage runs the full suite over internal/lint itself from the
+// module root: fdqvet must be clean on its own implementation.
+func TestCleanPackage(t *testing.T) {
+	code, out, errOut := runFdqvet(t, []string{"./internal/lint"}, filepath.Join("..", ".."))
+	if code != 0 {
+		t.Fatalf("exited %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+}
+
+// TestFindingsExitOne builds a throwaway module whose one struct wastes
+// enough padding to trip structalign, and requires exit status 1 with the
+// finding printed.
+func TestFindingsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "go.mod", "module fdqvettmp\n\ngo 1.24\n")
+	writeFile(t, dir, "padded.go", `package fdqvettmp
+
+type padded struct {
+	a bool
+	b int64
+	c bool
+	d int64
+	e bool
+}
+
+var _ = padded{}
+`)
+	code, out, errOut := runFdqvet(t, []string{"-only", "structalign", "./..."}, dir)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "fdqvet/structalign") {
+		t.Errorf("stdout missing structalign finding:\n%s", out)
+	}
+	if !strings.Contains(errOut, "finding(s)") {
+		t.Errorf("stderr missing summary line: %q", errOut)
+	}
+}
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

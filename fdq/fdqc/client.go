@@ -330,6 +330,8 @@ func (c *Client) query1(ctx context.Context, spec *QuerySpec) (*Rows, error) {
 // Next/Scan/Err/Close, deterministic row order, Close propagating to a
 // server-side cancellation. Stats returns the server's RunStats after
 // exhaustion. A Rows is used by one goroutine at a time.
+//
+//lint:ignore fdqvet/structalign fields are grouped by lifecycle phase (primed frame, stream state, guarded close); one instance per query, so 24B is not worth breaking the grouping
 type Rows struct {
 	c       *Client
 	conn    net.Conn // the connection this query runs on (stable across client reconnects)
@@ -355,7 +357,7 @@ type Rows struct {
 	count      int
 
 	mu       sync.Mutex // guards finished against the cancel watcher
-	finished bool
+	finished bool       // guarded by mu
 }
 
 // sendCancel ships one cancel frame, once, ignoring write errors (the

@@ -77,9 +77,9 @@ type Governor struct {
 type AdmissionEvent struct {
 	LogBound float64       // the query's certified log2 output bound (NaN = uncertified)
 	Policy   Policy        // the governor's policy at decision time
+	Wait     time.Duration // how long the queued wait took (admitted or not)
 	Admitted bool          // false: refused (over budget, or the queued wait was cancelled)
 	Queued   bool          // waited behind the PolicyQueue semaphore
-	Wait     time.Duration // how long the queued wait took (admitted or not)
 	Degraded bool          // admitted in PolicyDegrade mode
 }
 
@@ -196,12 +196,13 @@ func (g *Governor) overBudget(logBound float64) bool {
 // once when the query finishes.
 type admission struct {
 	logBound float64
-	queued   bool          // waited behind the PolicyQueue semaphore
-	wait     time.Duration // how long
-	degraded bool          // running in PolicyDegrade mode
+	wait     time.Duration // how long the queued wait took
 
-	once      sync.Once
 	releaseFn func()
+	once      sync.Once
+
+	queued   bool // waited behind the PolicyQueue semaphore
+	degraded bool // running in PolicyDegrade mode
 }
 
 // release returns the admission's semaphore hold (if any); idempotent and

@@ -93,9 +93,9 @@ type Rows struct {
 
 	closeOnce sync.Once
 	closed    bool  // Close was called (set before cancel fires)
+	done      bool  // ch closed and observed
 	closeErr  error // the parent context's error state when Close ran
 	cur       rel.Tuple
-	done      bool // ch closed and observed
 	err       error
 	stats     *engine.Stats
 	adm       *admission // admission info, for the governed RunStats fields

@@ -36,9 +36,9 @@ type Session struct {
 	undershoot float64 // adaptivity threshold override (0 = engine default, <0 disables)
 
 	mu      sync.Mutex
-	entries map[string]*list.Element // signature → element holding *cacheEntry
-	order   *list.List               // front = most recently used
-	stats   CacheStats
+	entries map[string]*list.Element // guarded by mu; signature → element holding *cacheEntry
+	order   *list.List               // guarded by mu; front = most recently used
+	stats   CacheStats               // guarded by mu
 }
 
 // cacheEntry is one cached shape. Its mutex serializes prepare/re-bind so
@@ -47,9 +47,9 @@ type cacheEntry struct {
 	sig string
 
 	mu      sync.Mutex
-	prep    *engine.Prepared
-	version uint64
-	bound   *engine.Bound
+	prep    *engine.Prepared // guarded by mu
+	version uint64           // guarded by mu
+	bound   *engine.Bound    // guarded by mu
 }
 
 // CacheStats reports the prepared-shape cache behaviour.

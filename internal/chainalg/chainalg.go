@@ -75,6 +75,9 @@ func RunInto(ctx context.Context, q *query.Q, c lattice.Chain, sink rel.Sink) (*
 	// Line 1: expand every input to its closure.
 	expanded := make([]*rel.Relation, len(q.Rels))
 	for j, r := range q.Rels {
+		if err := ctx.Err(); err != nil {
+			return st, err // closure expansion is O(data) per relation
+		}
 		expanded[j] = e.ExpandToClosure(r)
 	}
 

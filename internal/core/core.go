@@ -27,12 +27,13 @@ import (
 
 // Analysis aggregates every bound (in log2) and lattice property.
 type Analysis struct {
-	LatticeSize  int
-	Distributive bool
-	Modular      bool
-	BooleanAlg   bool
-	HasM3Top     bool // Prop. 4.10 necessary condition for non-normality
-	Normal       bool // Theorem 4.9 decision procedure
+	LatticeSize   int
+	Distributive  bool
+	Modular       bool
+	BooleanAlg    bool
+	HasM3Top      bool // Prop. 4.10 necessary condition for non-normality
+	Normal        bool // Theorem 4.9 decision procedure
+	SMProofExists bool // a good SM proof for some optimal dual
 
 	LogAGM        float64 // AGM bound ignoring FDs (+Inf if infeasible)
 	LogAGMClosure float64 // AGM(Q⁺)
@@ -41,8 +42,7 @@ type Analysis struct {
 	LogCLLP       float64 // CLLP with declared degree bounds
 	LogChain      float64 // best good chain bound (+Inf if none)
 
-	Chain         lattice.Chain // the best good chain found
-	SMProofExists bool          // a good SM proof for some optimal dual
+	Chain lattice.Chain // the best good chain found
 }
 
 // Analyze computes all bounds and classifications for the query.

@@ -224,6 +224,9 @@ func RunInto(ctx context.Context, q *query.Q, optsIn *Options, sink rel.Sink) (*
 	bottom.Add()
 	initState[l.Bottom] = bottom
 	for _, r := range q.Rels {
+		if err := ctx.Err(); err != nil {
+			return st, err // closure expansion is O(data) per relation
+		}
 		elem := l.IndexOfClosure(r.VarSet())
 		t := e.ExpandToClosure(r)
 		if prev := initState[elem]; prev != nil && elem != l.Bottom {
@@ -234,6 +237,9 @@ func RunInto(ctx context.Context, q *query.Q, optsIn *Options, sink rel.Sink) (*
 	// Degree-bound pairs (X, Y) need a guard table for Y: the projection of
 	// the guard relation onto vars(Y⁺).
 	for _, d := range q.DegreeBounds {
+		if err := ctx.Err(); err != nil {
+			return st, err // guard expansion + projection is O(data)
+		}
 		yElem := l.IndexOfClosure(d.Y)
 		if initState[yElem] != nil {
 			continue

@@ -127,15 +127,15 @@ type Bound struct {
 	prep *Prepared
 	q    *query.Q
 
-	mu       sync.Mutex // guards the single-entry partition/morsel memos below
-	partsKey partKey
-	parts    [][]*rel.Relation
+	mu       sync.Mutex        // guards the single-entry partition/morsel memos below
+	partsKey partKey           // guarded by mu
+	parts    [][]*rel.Relation // guarded by mu
 
-	valsOK     bool // distinct-value memo for the partition variable
-	valsV      int
-	vals       []rel.Value
-	morselsKey morselKey // single-entry morsel-partition memo
-	morsels    [][]*rel.Relation
+	valsOK     bool              // guarded by mu; distinct-value memo for the partition variable
+	valsV      int               // guarded by mu
+	vals       []rel.Value       // guarded by mu
+	morselsKey morselKey         // guarded by mu; single-entry morsel-partition memo
+	morsels    [][]*rel.Relation // guarded by mu
 }
 
 // Bind attaches an instance to the shape: rels must match the shape's

@@ -368,6 +368,7 @@ func (b *Bound) runMorselsInto(ctx context.Context, plan *Plan, v int, vals []re
 		}
 	}
 
+	//lint:ignore fdqvet/ctxloop cancellation reaches this loop via gctx → workers → workersDone; the select blocks, it does not spin
 	for completed < nm {
 		select {
 		case m := <-completions:
@@ -378,6 +379,7 @@ func (b *Bound) runMorselsInto(ctx context.Context, plan *Plan, v int, vals []re
 		break
 	}
 	<-workersDone
+	//lint:ignore fdqvet/ctxloop drains the bounded completions buffer after all workers exited; at most one handle per finished morsel
 	for len(completions) > 0 {
 		handle(<-completions)
 	}

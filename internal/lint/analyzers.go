@@ -1,0 +1,16 @@
+package lint
+
+// All returns the full fdqvet analyzer suite, in reporting order. Each
+// analyzer encodes one load-bearing invariant of this repository, seeded
+// by a bug class that actually shipped; see DESIGN.md, "Static analysis",
+// for the analyzer → invariant → historical-bug table.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Sinkcheck,
+		Ctxloop,
+		Lockguard,
+		Errtaxonomy,
+		Timerstop,
+		Structalign,
+	}
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errtaxonomy enforces the typed-error taxonomy and its wire round-trip:
+//
+//  1. Envelope completeness. In the package that owns the wire envelope
+//     (detected structurally: it declares func EncodeError and a type
+//     ErrorFrame with an Err method), every error type of the taxonomy —
+//     the exported *Error types of that package and of every imported
+//     package contributing a type to the envelope — must have BOTH an
+//     encode arm (an errors.As target inside EncodeError) and a decode arm
+//     (a &T{...} reconstruction inside ErrorFrame.Err). Server/client
+//     drift — adding a typed error without teaching the envelope both
+//     directions — becomes a build break instead of a silent CodeInternal
+//     downgrade. Client-side-only types (transport/protocol errors that
+//     never cross the wire) carry a //lint:ignore on their declaration.
+//
+//  2. Identity discipline. A return statement anywhere may not flatten an
+//     error-typed value through fmt.Errorf without %w: formatting an error
+//     with %v/%s strips its type, so errors.Is/As — and therefore retry
+//     classification — stop working downstream. Seeded by the
+//     Transport-before-Protocol retryability ordering bug (PR 9): a decode
+//     failure that wraps both error kinds is only classifiable because the
+//     typed chain survives; one %v in the path and a retryable transport
+//     error becomes a permanent opaque one.
+var Errtaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "typed errors must round-trip the wire envelope (encode+decode arms) and never lose their identity through %v formatting in returns",
+	Run:  runErrtaxonomy,
+}
+
+func runErrtaxonomy(pass *Pass) error {
+	checkEnvelope(pass)
+	checkReturnWrapping(pass)
+	return nil
+}
+
+// --- part 1: envelope completeness -----------------------------------
+
+func checkEnvelope(pass *Pass) {
+	var encodeFn *ast.FuncDecl // func EncodeError(error) ErrorFrame
+	var decodeFn *ast.FuncDecl // func (*ErrorFrame) Err() error
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "EncodeError" {
+				encodeFn = fd
+			}
+			if fd.Recv != nil && fd.Name.Name == "Err" && recvTypeName(fd) == "ErrorFrame" {
+				decodeFn = fd
+			}
+		}
+	}
+	if encodeFn == nil || decodeFn == nil {
+		return // not the envelope package
+	}
+	info := pass.TypesInfo
+
+	encodeSet := make(map[*types.TypeName]bool)
+	ast.Inspect(encodeFn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isErrorsAs(info, call) || len(call.Args) != 2 {
+			return true
+		}
+		// errors.As(err, &target): target has type *T.
+		tv, ok := info.Types[call.Args[1]]
+		if !ok {
+			return true
+		}
+		t := tv.Type
+		for {
+			p, ok := t.Underlying().(*types.Pointer)
+			if !ok {
+				break
+			}
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			encodeSet[named.Obj()] = true
+		}
+		return true
+	})
+
+	decodeSet := make(map[*types.TypeName]bool)
+	ast.Inspect(decodeFn.Body, func(n ast.Node) bool {
+		un, ok := n.(*ast.UnaryExpr)
+		if !ok || un.Op.String() != "&" {
+			return true
+		}
+		cl, ok := un.X.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[cl]
+		if !ok {
+			return true
+		}
+		if named, ok := tv.Type.(*types.Named); ok && implementsError(types.NewPointer(named)) {
+			decodeSet[named.Obj()] = true
+		}
+		return true
+	})
+
+	// The taxonomy: exported ...Error types from this package and from
+	// every package that contributes a type to the envelope.
+	contributing := map[*types.Package]bool{pass.Pkg: true}
+	for tn := range encodeSet {
+		if tn.Pkg() != nil {
+			contributing[tn.Pkg()] = true
+		}
+	}
+	for tn := range decodeSet {
+		if tn.Pkg() != nil {
+			contributing[tn.Pkg()] = true
+		}
+	}
+	for pkg := range contributing {
+		for _, name := range pkg.Scope().Names() {
+			tn, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+			if !ok || !tn.Exported() || !strings.HasSuffix(tn.Name(), "Error") {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || !implementsError(types.NewPointer(named)) {
+				continue
+			}
+			missing := ""
+			switch {
+			case !encodeSet[tn] && !decodeSet[tn]:
+				missing = "no encode arm in EncodeError and no decode arm in ErrorFrame.Err"
+			case !encodeSet[tn]:
+				missing = "no encode arm in EncodeError (decode arm exists: the client can fabricate it but the server can never send it)"
+			case !decodeSet[tn]:
+				missing = "no decode arm in ErrorFrame.Err (encode arm exists: the server sends a code the client downgrades to a generic error)"
+			default:
+				continue
+			}
+			pos := encodeFn.Pos()
+			if tn.Pkg() == pass.Pkg {
+				// Report at the declaration so a client-side-only type can
+				// carry its //lint:ignore where it is declared.
+				if declPos := declPosOf(pass, tn); declPos.IsValid() {
+					pos = declPos
+				}
+			}
+			pass.Reportf(pos, "typed error %s.%s does not round-trip the wire envelope: %s", tn.Pkg().Name(), tn.Name(), missing)
+		}
+	}
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func isErrorsAs(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "As" {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "errors"
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+func declPosOf(pass *Pass, tn *types.TypeName) token.Pos {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if pass.TypesInfo.Defs[ts.Name] == tn {
+					return ts.Pos()
+				}
+			}
+		}
+	}
+	return token.NoPos
+}
+
+// --- part 2: %w identity discipline ----------------------------------
+
+func checkReturnWrapping(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				call, ok := res.(*ast.CallExpr)
+				if !ok || !isFmtErrorf(info, call) || len(call.Args) < 2 {
+					continue
+				}
+				format, ok := stringLit(call.Args[0])
+				if !ok {
+					continue
+				}
+				verbs, ok := formatVerbs(format)
+				if !ok || len(verbs) != len(call.Args)-1 {
+					continue // explicit indexes or verb/arg mismatch: vet's territory
+				}
+				// A call that wraps at least one error preserves a chain for
+				// errors.Is/As; the remaining error args are context, not the
+				// identity being propagated.
+				wrapsOne := false
+				for _, v := range verbs {
+					if v == 'w' {
+						wrapsOne = true
+					}
+				}
+				if wrapsOne {
+					continue
+				}
+				for i, arg := range call.Args[1:] {
+					tv, ok := info.Types[arg]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					// %T prints the dynamic type and %p the pointer — neither
+					// pretends to carry the error, so neither loses identity.
+					if verbs[i] == 'T' || verbs[i] == 'p' {
+						continue
+					}
+					if types.AssignableTo(tv.Type, errorIface) && !isUntypedNil(tv) {
+						pass.Reportf(call.Pos(), "returned fmt.Errorf formats an error without %%w: the typed identity is lost and errors.Is/As (retry classification, envelope encoding) stop working downstream")
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// formatVerbs returns the verb letter for each formatting directive of a
+// Printf-style format string, in argument order. Returns ok=false for
+// directives this simple scanner does not model (explicit argument
+// indexes, *-widths), where mapping verbs to arguments needs vet's full
+// machinery.
+func formatVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' { // %% literal, consumes no argument
+				break
+			}
+			if c == '[' || c == '*' {
+				return nil, false
+			}
+			if strings.ContainsRune("+-# 0.0123456789", rune(c)) {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs, true
+}
+
+func isFmtErrorf(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt"
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind.String() != "STRING" {
+		return "", false
+	}
+	return bl.Value, true
+}
+
+func isUntypedNil(tv types.TypeAndValue) bool {
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,64 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer is exercised over a testdata package holding flagged
+// cases (// want annotations), clean cases, a reconstruction of the
+// historical bug the analyzer was seeded by, and suppression examples.
+// The testdata regressions are what keeps the analyzers honest: deleting
+// a historical-bug fix from the tree recreates exactly the shape these
+// packages prove is flagged.
+
+func TestSinkcheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/sinkcheck", lint.Sinkcheck)
+}
+
+func TestCtxloop(t *testing.T) {
+	linttest.Run(t, "testdata/src/ctxloop", lint.Ctxloop)
+}
+
+func TestLockguard(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockguard", lint.Lockguard)
+}
+
+func TestErrtaxonomy(t *testing.T) {
+	linttest.Run(t, "testdata/src/errtaxonomy", lint.Errtaxonomy)
+}
+
+func TestTimerstop(t *testing.T) {
+	linttest.Run(t, "testdata/src/timerstop", lint.Timerstop)
+}
+
+func TestStructalign(t *testing.T) {
+	linttest.Run(t, "testdata/src/structalign", lint.Structalign)
+}
+
+// TestIgnoreDirectives proves suppression semantics end to end: trailing,
+// standalone, and stacked directives suppress; a directive for a
+// different analyzer or a different line does not.
+func TestIgnoreDirectives(t *testing.T) {
+	linttest.Run(t, "testdata/src/ignore", lint.Sinkcheck)
+}
+
+// TestAllRegistered pins the suite composition: cmd/fdqvet gates CI with
+// exactly these analyzers.
+func TestAllRegistered(t *testing.T) {
+	want := []string{"sinkcheck", "ctxloop", "lockguard", "errtaxonomy", "timerstop", "structalign"}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

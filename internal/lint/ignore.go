@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression: a comment of the form
+//
+//	//lint:ignore fdqvet/<analyzer> <reason>
+//
+// suppresses that analyzer's findings on the same line (trailing comment)
+// or on the next code line (standalone comment line; consecutive directive
+// lines stack onto the same target). The reason is mandatory — a
+// suppression with no justification is itself reported, so every
+// deliberate exception to an invariant is documented where it lives.
+var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+fdqvet/([A-Za-z0-9_-]+)(?:\s+(.*))?$`)
+
+type ignoreIndex struct {
+	// byFileLine maps file → line → analyzer names suppressed there.
+	byFileLine map[string]map[int]map[string]bool
+	// malformed collects directives with no reason, reported as findings
+	// by the driver through Malformed.
+	malformed []Finding
+}
+
+// collectIgnores scans every comment in the files and resolves each
+// directive to the set of (file, line) positions it suppresses.
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{byFileLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		// Gather directive lines first so stacked directives can skip over
+		// one another to the shared code line below them.
+		type directive struct {
+			line     int
+			trailing bool // shares its line with code, applies to that line
+			analyzer string
+			reason   string
+			pos      token.Pos
+		}
+		directiveLines := make(map[int]bool)
+		var ds []directive
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				ds = append(ds, directive{
+					line:     p.Line,
+					trailing: p.Column > 1 && !lineStartsWithComment(fset, f, c),
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					pos:      c.Pos(),
+				})
+				if p.Column == 1 || lineStartsWithComment(fset, f, c) {
+					directiveLines[p.Line] = true
+				}
+			}
+		}
+		if len(ds) == 0 {
+			continue
+		}
+		file := fset.Position(f.Pos()).Filename
+		lines := idx.byFileLine[file]
+		if lines == nil {
+			lines = make(map[int]map[string]bool)
+			idx.byFileLine[file] = lines
+		}
+		add := func(line int, analyzer string) {
+			if lines[line] == nil {
+				lines[line] = make(map[string]bool)
+			}
+			lines[line][analyzer] = true
+		}
+		for _, d := range ds {
+			if d.reason == "" {
+				idx.malformed = append(idx.malformed, Finding{
+					Pos:      fset.Position(d.pos),
+					Analyzer: "ignore",
+					Message:  "lint:ignore directive needs a reason: //lint:ignore fdqvet/" + d.analyzer + " <why this exception is sound>",
+				})
+				continue
+			}
+			target := d.line
+			if !d.trailing {
+				// Standalone comment: walk past any stacked directive lines
+				// to the code line below.
+				target = d.line + 1
+				for directiveLines[target] {
+					target++
+				}
+			}
+			add(target, d.analyzer)
+			// A standalone directive also covers its own line, so a finding
+			// reported at the commented node's doc position stays covered.
+			add(d.line, d.analyzer)
+		}
+	}
+	return idx
+}
+
+// lineStartsWithComment reports whether c is the first token on its line
+// (a standalone comment rather than a trailing one). It checks whether any
+// declaration or statement token of the file starts earlier on the same
+// line.
+func lineStartsWithComment(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cp := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if _, ok := n.(*ast.File); ok {
+			return true
+		}
+		np := fset.Position(n.Pos())
+		if np.Line == cp.Line && np.Column < cp.Column {
+			first = false
+			return false
+		}
+		// Keep descending only while the node could span the comment line.
+		ne := fset.Position(n.End())
+		return np.Line <= cp.Line && ne.Line >= cp.Line
+	})
+	return first
+}
+
+func (idx *ignoreIndex) suppresses(analyzer string, pos token.Position) bool {
+	lines := idx.byFileLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer]
+}
+
+// Malformed returns findings for directives missing their reason.
+func (idx *ignoreIndex) Malformed() []Finding { return idx.malformed }

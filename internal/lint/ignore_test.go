@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ignoreIndex) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, collectIgnores(fset, []*ast.File{f})
+}
+
+func TestIgnoreMissingReason(t *testing.T) {
+	_, idx := parseSrc(t, `package p
+
+func f() {
+	//lint:ignore fdqvet/sinkcheck
+	g()
+}
+
+func g() {}
+`)
+	mal := idx.Malformed()
+	if len(mal) != 1 {
+		t.Fatalf("got %d malformed findings, want 1: %v", len(mal), mal)
+	}
+	if mal[0].Analyzer != "ignore" {
+		t.Errorf("malformed finding attributed to %q, want \"ignore\"", mal[0].Analyzer)
+	}
+	if !strings.Contains(mal[0].Message, "needs a reason") {
+		t.Errorf("malformed message %q does not mention the missing reason", mal[0].Message)
+	}
+	// A reasonless directive suppresses nothing.
+	if idx.suppresses("sinkcheck", token.Position{Filename: "src.go", Line: 5}) {
+		t.Error("reasonless directive suppressed the next line")
+	}
+}
+
+func TestIgnoreTrailingAndStandalone(t *testing.T) {
+	_, idx := parseSrc(t, `package p
+
+func f() {
+	g() //lint:ignore fdqvet/sinkcheck trailing covers this line
+	//lint:ignore fdqvet/ctxloop standalone covers the next line
+	g()
+	g()
+}
+
+func g() {}
+`)
+	if len(idx.Malformed()) != 0 {
+		t.Fatalf("unexpected malformed findings: %v", idx.Malformed())
+	}
+	cases := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"sinkcheck", 4, true},  // trailing, same line
+		{"sinkcheck", 6, false}, // trailing does not leak downward
+		{"ctxloop", 6, true},    // standalone, next line
+		{"ctxloop", 7, false},   // only the next line
+		{"timerstop", 4, false}, // other analyzers unaffected
+	}
+	for _, c := range cases {
+		got := idx.suppresses(c.analyzer, token.Position{Filename: "src.go", Line: c.line})
+		if got != c.want {
+			t.Errorf("suppresses(%s, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}
+
+func TestIgnoreStacked(t *testing.T) {
+	_, idx := parseSrc(t, `package p
+
+func f() {
+	//lint:ignore fdqvet/sinkcheck first of a stack
+	//lint:ignore fdqvet/ctxloop second of a stack
+	g()
+}
+
+func g() {}
+`)
+	for _, analyzer := range []string{"sinkcheck", "ctxloop"} {
+		if !idx.suppresses(analyzer, token.Position{Filename: "src.go", Line: 6}) {
+			t.Errorf("stacked directive for %s did not reach the shared code line", analyzer)
+		}
+	}
+}

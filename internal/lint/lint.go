@@ -1,0 +1,119 @@
+// Package lint is the repository's static-analysis framework: a small,
+// dependency-free re-implementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, diagnostics, //lint:ignore suppression, and an
+// analysistest-style test harness in linttest) on top of the standard
+// library's go/ast, go/types, and the go command's export data.
+//
+// Why not the real go/analysis? The module is intentionally
+// dependency-free (go.mod has no requires), and the invariants this suite
+// enforces are repository-specific contracts — the rel.Sink Push-return
+// protocol, executor cancellation checks, "guarded by" mutex annotations,
+// the fdqc typed-error envelope, timer/cancel lifetimes — that no stock
+// analyzer knows about. The framework here is exactly as much machinery as
+// those analyzers need: load packages with full type information, walk
+// syntax, report positions, honor suppressions.
+//
+// The suite is run by cmd/fdqvet (a multichecker over ./... that gates CI)
+// and exercised by per-analyzer tests over testdata packages annotated
+// with // want comments, including a reconstruction of each historical bug
+// the analyzer was seeded by. See DESIGN.md, "Static analysis".
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker. Run inspects a single
+// type-checked package through the Pass and reports findings; it must not
+// retain the Pass after returning.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "sinkcheck"; the suppression key is fdqvet/<Name>
+	Doc  string // one-paragraph description: the invariant, and the historical bug that seeded it
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // the package's parsed files, with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Sizes     types.Sizes
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, before suppression filtering.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a diagnostic that survived suppression, resolved to a file
+// position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (fdqvet/%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package, filters findings
+// through the packages' //lint:ignore directives, and returns the
+// survivors sorted by position. Analyzer errors (not findings) abort.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ign := collectIgnores(pkg.Fset, pkg.Files)
+		out = append(out, ign.Malformed()...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				Sizes:     pkg.Sizes,
+			}
+			var diags []Diagnostic
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if ign.suppresses(a.Name, pos) {
+					continue
+				}
+				out = append(out, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

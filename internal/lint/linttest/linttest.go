@@ -1,0 +1,115 @@
+// Package linttest is the test harness for fdqvet analyzers — the
+// analysistest stand-in for this module's dependency-free lint framework.
+// A testdata package directory holds ordinary Go files annotated with
+//
+//	// want "substring"
+//
+// trailing comments: every line carrying a want must produce a finding
+// whose message contains the quoted substring, and every finding must be
+// claimed by a want. Multiple quoted strings on one want directive expect
+// multiple findings on that line. Suppression directives (//lint:ignore)
+// in testdata are honored exactly as in production code, so the testdata
+// exercises the suppression mechanism too: a suppressed line simply
+// carries no want.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\b\s*(.*)$`)
+	quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// expectation is one unmatched want substring at a file line.
+type expectation struct {
+	file string
+	line int
+	sub  string
+}
+
+// Run loads dir as a single testdata package, applies the analyzers, and
+// fails t unless findings and want annotations match one-to-one.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parsing want annotations in %s: %v", dir, err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, f := range findings {
+		claimed := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(f.Pos.Filename) || w.line != f.Pos.Line {
+				continue
+			}
+			if strings.Contains(f.Message, w.sub) {
+				matched[i] = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected finding containing %q, got none", w.file, w.line, w.sub)
+		}
+	}
+}
+
+// parseWants scans every Go file in dir for // want directives.
+func parseWants(dir string) ([]expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := quotedRE.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				return nil, fmt.Errorf("%s:%d: want directive with no quoted pattern", e.Name(), i+1)
+			}
+			for _, q := range quoted {
+				sub, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", e.Name(), i+1, q, err)
+				}
+				out = append(out, expectation{file: e.Name(), line: i + 1, sub: sub})
+			}
+		}
+	}
+	return out, nil
+}

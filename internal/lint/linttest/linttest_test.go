@@ -1,0 +1,55 @@
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRunOverTestdata drives the harness end to end from inside its own
+// package (coverage of Run is credited here, not in the lint tests).
+func TestRunOverTestdata(t *testing.T) {
+	Run(t, filepath.Join("..", "testdata", "src", "sinkcheck"), lint.Sinkcheck)
+}
+
+func writeTestdata(t *testing.T, name, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestParseWants(t *testing.T) {
+	dir := writeTestdata(t, "w.go", `package w
+
+func f() {} // want "first" "second"
+
+func g() {} // no directive here
+`)
+	wants, err := parseWants(dir)
+	if err != nil {
+		t.Fatalf("parseWants: %v", err)
+	}
+	if len(wants) != 2 {
+		t.Fatalf("got %d expectations, want 2: %v", len(wants), wants)
+	}
+	for i, sub := range []string{"first", "second"} {
+		if wants[i].file != "w.go" || wants[i].line != 3 || wants[i].sub != sub {
+			t.Errorf("wants[%d] = %+v, want {w.go 3 %s}", i, wants[i], sub)
+		}
+	}
+}
+
+func TestParseWantsRejectsEmptyDirective(t *testing.T) {
+	dir := writeTestdata(t, "w.go", `package w
+
+func f() {} // want
+`)
+	if _, err := parseWants(dir); err == nil {
+		t.Fatal("parseWants accepted a want directive with no quoted pattern")
+	}
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	Sizes      types.Sizes
+}
+
+// listPkg mirrors the fields of `go list -json` output this loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command and decodes its -json package stream.
+func goList(dir string, extra ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,Incomplete,Error"}, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Exports builds an import-path → export-data-file map for the full
+// dependency closure of patterns, compiling as needed (`go list -export`).
+// The map backs the type-checker's importer, so loading needs no network
+// and no GOPATH — only the go command's build cache.
+func Exports(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, append([]string{"-export", "-deps", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// newImporter wraps the gc export-data importer over an Exports map.
+// The importer instance caches loaded packages, so it must be shared by
+// every type-check that should agree on imported type identities.
+func newImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Load loads and type-checks the packages matched by patterns (go list
+// syntax, e.g. "./..."), resolved relative to dir ("" = current
+// directory). Test files are not loaded: the suite checks production
+// invariants, and tests legitimately reconstruct the very bugs the
+// analyzers reject (that is what the analyzers' own testdata regressions
+// are for).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+	}
+	exports, err := Exports(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			Sizes:      sizes,
+		})
+	}
+	return out, nil
+}
+
+// LoadDir loads a single directory as one package outside the module's
+// package graph — the linttest path for testdata packages. The directory's
+// imports are resolved through export data for whatever closure the import
+// set needs, so testdata may import the standard library (and module
+// packages, if it comes to that) but nothing more exotic.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", e.Name(), err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	patterns := make([]string, 0, len(importSet))
+	for p := range importSet {
+		if p == "unsafe" {
+			continue // resolved by the importer itself, not export data
+		}
+		patterns = append(patterns, p)
+	}
+	exports := map[string]string{}
+	if len(patterns) > 0 {
+		exports, err = Exports(dir, patterns...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	info := newTypesInfo()
+	conf := types.Config{Importer: newImporter(fset, exports), Sizes: sizes}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{
+		ImportPath: pkg.Path(),
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		Sizes:      sizes,
+	}, nil
+}

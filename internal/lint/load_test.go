@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadSelf exercises the production loading pipeline — go list
+// -export, the gc importer, full type-checking — over this very package,
+// then runs the whole analyzer suite on it: fdqvet must be clean on its
+// own source.
+func TestLoadSelf(t *testing.T) {
+	pkgs, err := Load("", ".")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Pkg.Name() != "lint" {
+		t.Errorf("loaded package %q, want lint", pkg.Pkg.Name())
+	}
+	if len(pkg.Files) == 0 || pkg.TypesInfo == nil || pkg.Sizes == nil {
+		t.Fatal("loaded package is missing files, type info, or sizes")
+	}
+	findings, err := RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("fdqvet is not clean on its own source: %s", f)
+	}
+}
+
+// TestLoadBadPattern propagates go list failures as errors, not panics.
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load("", "./does-not-exist-xyzzy"); err == nil {
+		t.Fatal("Load of a nonexistent pattern succeeded")
+	}
+}
+
+// TestLoadBadDir: a working directory that does not exist surfaces the go
+// list failure itself.
+func TestLoadBadDir(t *testing.T) {
+	if _, err := Load("/does-not-exist-xyzzy", "./..."); err == nil {
+		t.Fatal("Load in a nonexistent directory succeeded")
+	}
+}
+
+// TestLoadTypeError: a package that parses but does not compile is
+// rejected when export data is built, not silently analyzed half-typed.
+func TestLoadTypeError(t *testing.T) {
+	dir := t.TempDir()
+	writeLoadFile(t, dir, "go.mod", "module tmpload\n\ngo 1.24\n")
+	writeLoadFile(t, dir, "bad.go", "package tmpload\n\nvar x int = \"not an int\"\n")
+	if _, err := Load(dir, "./..."); err == nil {
+		t.Fatal("Load of a non-compiling package succeeded")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	t.Run("nonexistent", func(t *testing.T) {
+		if _, err := LoadDir("/does-not-exist-xyzzy"); err == nil {
+			t.Fatal("LoadDir of a nonexistent directory succeeded")
+		}
+	})
+	t.Run("no go files", func(t *testing.T) {
+		dir := t.TempDir()
+		writeLoadFile(t, dir, "README.txt", "nothing to load here\n")
+		if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "no Go files") {
+			t.Fatalf("LoadDir of a Go-free directory: err = %v", err)
+		}
+	})
+	t.Run("parse error", func(t *testing.T) {
+		dir := t.TempDir()
+		writeLoadFile(t, dir, "bad.go", "package p\n\nfunc {\n")
+		if _, err := LoadDir(dir); err == nil {
+			t.Fatal("LoadDir of an unparsable file succeeded")
+		}
+	})
+	t.Run("unknown import", func(t *testing.T) {
+		dir := t.TempDir()
+		writeLoadFile(t, dir, "imp.go", "package p\n\nimport _ \"no/such/import-xyzzy\"\n")
+		if _, err := LoadDir(dir); err == nil {
+			t.Fatal("LoadDir with an unresolvable import succeeded")
+		}
+	})
+	t.Run("type error", func(t *testing.T) {
+		dir := t.TempDir()
+		writeLoadFile(t, dir, "bad.go", "package p\n\nvar x int = \"not an int\"\n")
+		if _, err := LoadDir(dir); err == nil {
+			t.Fatal("LoadDir of a non-compiling package succeeded")
+		}
+	})
+}
+
+func writeLoadFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Analyzer: "sinkcheck", Message: "result of Push ignored"}
+	f.Pos.Filename, f.Pos.Line, f.Pos.Column = "x.go", 3, 7
+	got := f.String()
+	for _, sub := range []string{"x.go:3:7", "result of Push ignored", "fdqvet/sinkcheck"} {
+		if !strings.Contains(got, sub) {
+			t.Errorf("Finding.String() = %q, missing %q", got, sub)
+		}
+	}
+}

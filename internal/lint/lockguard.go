@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockguard enforces "// guarded by <mu>" field annotations: a struct
+// field carrying the annotation may only be read or written in functions
+// that lock the named sibling mutex (s.mu.Lock() or s.mu.RLock() somewhere
+// in the function, on the same base expression the field is accessed
+// through), or in functions whose name ends in "Locked" (the caller-holds-
+// the-lock convention). Seeded by the qstate/plan-cache races the engine
+// layer fixed in PR 2 and the panic-poisoned session-LRU eviction found in
+// PR 6 — both were fields with a documented lock discipline that nothing
+// enforced.
+//
+// The check is deliberately flow-insensitive (a Lock anywhere in the
+// function clears every access in it): it catches the real bug class — a
+// new code path touching a guarded field with no locking at all — without
+// modeling unlock/relock sequences. Deliberate bypasses (single-owner
+// mutators, constructors) carry a //lint:ignore with their reasoning.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated '// guarded by <mu>' may only be accessed with that mutex locked in the enclosing function (or from a *Locked function)",
+	Run:  runLockguard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func runLockguard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkGuardedAccesses(pass, guards, fd)
+			return true
+		})
+	}
+	return nil
+}
+
+// collectGuards maps guarded field objects to the name of their guarding
+// mutex field, from "// guarded by <mu>" annotations in field docs or
+// trailing comments. The named mutex must be a sibling field of a
+// sync.Mutex/RWMutex-ish type; a dangling annotation is itself reported.
+func collectGuards(pass *Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			fieldNames := make(map[string]*ast.Field, len(st.Fields.List))
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fieldNames[name.Name] = field
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				muField, ok := fieldNames[mu]
+				if !ok {
+					pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a sibling field of this struct", mu)
+					continue
+				}
+				if !isMutexField(pass.TypesInfo, muField) {
+					pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex field", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func isMutexField(info *types.Info, field *ast.Field) bool {
+	tv, ok := info.Types[field.Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkGuardedAccesses reports guarded-field accesses in fd made without
+// the matching <base>.<mu>.Lock()/RLock() call anywhere in fd's body.
+func checkGuardedAccesses(pass *Pass, guards map[types.Object]string, fd *ast.FuncDecl) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // caller-holds-the-lock convention
+	}
+	info := pass.TypesInfo
+
+	// lockedBases collects the rendered base expressions whose mutex is
+	// locked in this function: s.mu.Lock() → "s" + "mu".
+	type baseMu struct{ base, mu string }
+	locked := make(map[baseMu]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		locked[baseMu{types.ExprString(muSel.X), muSel.Sel.Name}] = true
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		mu, guarded := guards[obj]
+		if !guarded {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if locked[baseMu{base, mu}] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "access to %s.%s, guarded by %s.%s, in a function that never locks it (lock it, suffix the function Locked, or annotate the bypass)",
+			base, sel.Sel.Name, base, mu)
+		return true
+	})
+}

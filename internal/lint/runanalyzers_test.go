@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fakePackage parses the given sources into a Package with no type
+// information — enough for analyzers that only report positions.
+func fakePackage(t *testing.T, files map[string]string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var asts []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, files[name], parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		asts = append(asts, f)
+	}
+	return &Package{
+		ImportPath: "fake",
+		Fset:       fset,
+		Files:      asts,
+		Pkg:        types.NewPackage("fake", "fake"),
+	}
+}
+
+// TestRunAnalyzersSortsFindings pins the output order: by file, then line,
+// then column, then analyzer name — independent of report order.
+func TestRunAnalyzersSortsFindings(t *testing.T) {
+	pkg := fakePackage(t, map[string]string{
+		"a.go": "package fake\n\nvar A = 1\n",
+		"b.go": "package fake\n\nvar B = 2\n",
+	})
+	posOf := func(name string) token.Pos {
+		for _, f := range pkg.Files {
+			if pkg.Fset.Position(f.Pos()).Filename == name {
+				return f.Pos()
+			}
+		}
+		t.Fatalf("no file %s", name)
+		return token.NoPos
+	}
+	aPos, bPos := posOf("a.go"), posOf("b.go")
+
+	zeta := &Analyzer{Name: "zeta", Doc: "reports out of order", Run: func(p *Pass) error {
+		p.Reportf(bPos, "in b")
+		p.Reportf(aPos+2, "in a, later column")
+		p.Reportf(aPos, "in a, first column")
+		return nil
+	}}
+	alpha := &Analyzer{Name: "alpha", Doc: "ties on position", Run: func(p *Pass) error {
+		p.Reportf(aPos, "alpha at the shared position")
+		return nil
+	}}
+
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{zeta, alpha})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Pos.Filename+"/"+f.Analyzer+"/"+f.Message)
+	}
+	want := []string{
+		"a.go/alpha/alpha at the shared position",
+		"a.go/zeta/in a, first column",
+		"a.go/zeta/in a, later column",
+		"b.go/zeta/in b",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("findings[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunAnalyzersError: an analyzer failure aborts the run with the
+// analyzer and package named.
+func TestRunAnalyzersError(t *testing.T) {
+	pkg := fakePackage(t, map[string]string{"a.go": "package fake\n"})
+	boom := &Analyzer{Name: "boom", Doc: "always fails", Run: func(p *Pass) error {
+		return errors.New("kaboom")
+	}}
+	_, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{boom})
+	if err == nil {
+		t.Fatal("RunAnalyzers swallowed the analyzer error")
+	}
+	for _, sub := range []string{"boom", "fake", "kaboom"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("error %q missing %q", err, sub)
+		}
+	}
+}
+
+// TestImporterMissingExport: the gc importer reports a missing export-data
+// entry as an error instead of panicking mid-type-check.
+func TestImporterMissingExport(t *testing.T) {
+	imp := newImporter(token.NewFileSet(), map[string]string{})
+	if _, err := imp.Import("no/such/package"); err == nil {
+		t.Fatal("importing an unmapped path succeeded")
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Sinkcheck enforces the rel.Sink Push-return contract: Push reports
+// whether the producer should continue, so a discarded result silently
+// breaks LIMIT-k, COUNT-only, and cancellation (the consumer stops, the
+// producer burns through the rest of the result anyway). Seeded by the
+// streaming redesign (PR 5), whose entire point — stop the producer the
+// moment the answer is determined — evaporates at any call site that drops
+// the bool.
+//
+// Two shapes are flagged:
+//
+//  1. An ignored result: s.Push(t) as a statement, _ = s.Push(t), or
+//     go/defer s.Push(t).
+//  2. A consulted-but-unpropagated stop: if !s.Push(t) { ... } whose body
+//     does not break, return, goto, or panic — the producer notices the
+//     stop and keeps producing anyway.
+var Sinkcheck = &Analyzer{
+	Name: "sinkcheck",
+	Doc:  "every Sink.Push result must be consulted and the stop signal propagated out of the producing loop",
+	Run:  runSinkcheck,
+}
+
+func runSinkcheck(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && isPushCall(info, call) {
+					pass.Reportf(n.Pos(), "result of Push ignored: a Sink's stop signal must be consulted (rel.Sink contract)")
+				}
+			case *ast.GoStmt:
+				if isPushCall(info, n.Call) {
+					pass.Reportf(n.Pos(), "result of Push ignored in go statement: a Sink's stop signal must be consulted (rel.Sink contract)")
+				}
+			case *ast.DeferStmt:
+				if isPushCall(info, n.Call) {
+					pass.Reportf(n.Pos(), "result of Push ignored in defer statement: a Sink's stop signal must be consulted (rel.Sink contract)")
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isPushCall(info, call) {
+							pass.Reportf(n.Pos(), "result of Push discarded to _: a Sink's stop signal must be consulted (rel.Sink contract)")
+						}
+					}
+				}
+			case *ast.IfStmt:
+				checkPushBranch(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPushBranch flags `if !s.Push(t) { ... }` (and the two-statement
+// `ok := s.Push(t); if !ok { ... }` form via the if's init) whose body
+// consults the stop signal but never exits the producing loop.
+func checkPushBranch(pass *Pass, n *ast.IfStmt) {
+	not, ok := n.Cond.(*ast.UnaryExpr)
+	if !ok || not.Op.String() != "!" {
+		return
+	}
+	var pushCall *ast.CallExpr
+	switch x := not.X.(type) {
+	case *ast.CallExpr:
+		if isPushCall(pass.TypesInfo, x) {
+			pushCall = x
+		}
+	case *ast.Ident:
+		// if ok := s.Push(t); !ok { ... }
+		if n.Init != nil {
+			if as, okAssign := n.Init.(*ast.AssignStmt); okAssign && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+				if lhs, okIdent := as.Lhs[0].(*ast.Ident); okIdent && lhs.Name == x.Name {
+					if call, okCall := as.Rhs[0].(*ast.CallExpr); okCall && isPushCall(pass.TypesInfo, call) {
+						pushCall = call
+					}
+				}
+			}
+		}
+	}
+	if pushCall == nil {
+		return
+	}
+	if !containsExit(n.Body) {
+		pass.Reportf(n.Pos(), "stopped Sink not propagated: the !Push branch must break, return, or otherwise abandon the producer's work")
+	}
+}

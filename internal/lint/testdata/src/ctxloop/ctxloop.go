@@ -1,0 +1,165 @@
+// Package ctxloop exercises fdqvet/ctxloop: a streaming executor — a
+// function taking both a context.Context and a Sink — must observe
+// cancellation in every working loop nest, via ctx or a consulted Push.
+package ctxloop
+
+import "context"
+
+type Tuple []int64
+
+type Sink interface {
+	Push(t Tuple) bool
+}
+
+func expand(t Tuple) Tuple { return t }
+
+// --- flagged ----------------------------------------------------------
+
+func noCheck(ctx context.Context, rows []Tuple, s Sink) {
+	for _, t := range rows { // want "no cancellation check"
+		expand(t)
+	}
+}
+
+// nestedNoCheck is reported once, at the nest root.
+func nestedNoCheck(ctx context.Context, rows []Tuple, s Sink) {
+	for _, t := range rows { // want "no cancellation check"
+		for range t {
+			expand(t)
+		}
+	}
+}
+
+// bufferThenEmit reconstructs the pre-PR-5 executor shape the analyzer
+// was seeded by: buffer the whole result with no cancellation check, then
+// emit. The buffering loop runs an unbounded amount of work after the
+// consumer has gone away; only the emit loop observes the stop.
+func bufferThenEmit(ctx context.Context, rows []Tuple, s Sink) {
+	var buf []Tuple
+	for _, t := range rows { // want "no cancellation check"
+		buf = append(buf, expand(t))
+	}
+	for _, t := range buf {
+		if !s.Push(t) {
+			return
+		}
+	}
+}
+
+// --- clean ------------------------------------------------------------
+
+// checked consults ctx.Err every iteration.
+func checked(ctx context.Context, rows []Tuple, s Sink) error {
+	for _, t := range rows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		expand(t)
+	}
+	return nil
+}
+
+// pushStops consults the sink's stop signal instead.
+func pushStops(ctx context.Context, rows []Tuple, s Sink) {
+	for _, t := range rows {
+		if !s.Push(expand(t)) {
+			return
+		}
+	}
+}
+
+// intervalChecked uses the codebase's one-check-per-nest idiom: the tick
+// check in the outer loop satisfies the inner working loop too.
+func intervalChecked(ctx context.Context, rows []Tuple, s Sink) error {
+	tick := 0
+	for _, t := range rows {
+		for i := 0; i < len(t); i++ {
+			expand(t)
+		}
+		tick++
+		if tick%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// delegated passes ctx down to the work, which owns the check.
+func delegated(ctx context.Context, rows []Tuple, s Sink) error {
+	for _, t := range rows {
+		if err := expandCtx(ctx, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func expandCtx(ctx context.Context, t Tuple) error { return ctx.Err() }
+
+// scratch loops — no calls beyond cheap accessors — are not "working".
+func scratch(ctx context.Context, rows []Tuple, s Sink) int {
+	n := 0
+	for _, t := range rows {
+		n += len(t)
+	}
+	return n
+}
+
+// spawn loops defer their work to goroutines; the literal's own signature
+// decides whether it is an executor.
+func spawn(ctx context.Context, rows []Tuple, s Sink) {
+	for i := 0; i < 4; i++ {
+		go func() { expand(nil) }()
+	}
+}
+
+// noSink is not an executor (no Sink parameter): out of scope.
+func noSink(ctx context.Context, rows []Tuple) {
+	for _, t := range rows {
+		expand(t)
+	}
+}
+
+// literalBuilder only constructs closures; building a func literal is not
+// inline work, and neither is a type conversion.
+func literalBuilder(ctx context.Context, rows []Tuple, s Sink) []func() {
+	var cbs []func()
+	for _, t := range rows {
+		t := t
+		cb := func() { expand(t) }
+		cbs = append(cbs, cb)
+	}
+	total := 0
+	for _, t := range rows {
+		total += int(int64(len(t)))
+	}
+	_ = total
+	return cbs
+}
+
+// pushAfterLiteral does real work and observes the stop via Push; the
+// closure built mid-loop is skipped while scanning for the Push call.
+func pushAfterLiteral(ctx context.Context, rows []Tuple, s Sink) {
+	for _, t := range rows {
+		expand(t)
+		cb := func() Tuple { return expand(t) }
+		_ = cb
+		if !s.Push(t) {
+			return
+		}
+	}
+}
+
+// voidLogger's Push returns nothing — not the Sink shape, so takesLogger
+// is not an executor at all.
+type voidLogger struct{ n int }
+
+func (l *voidLogger) Push(line string) { l.n++ }
+
+func takesLogger(ctx context.Context, rows []Tuple, l *voidLogger) {
+	for _, t := range rows {
+		expand(t)
+	}
+}

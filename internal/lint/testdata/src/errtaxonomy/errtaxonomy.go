@@ -1,0 +1,149 @@
+// Package errtaxonomy exercises fdqvet/errtaxonomy: every typed error of
+// the taxonomy must round-trip the wire envelope (an errors.As encode arm
+// and a &T{} decode arm), and no return may flatten an error through
+// fmt.Errorf without %w. The envelope is detected structurally: this
+// package declares EncodeError and ErrorFrame.Err, like fdq/fdqc.
+package errtaxonomy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BoundError round-trips: encode and decode arms below.
+type BoundError struct{ Bound float64 }
+
+func (e *BoundError) Error() string { return "bound" }
+
+// RowsError round-trips too.
+type RowsError struct{ Limit int }
+
+func (e *RowsError) Error() string { return "rows" }
+
+// OrphanError has no arms at all: the server silently downgrades it to
+// the internal code and the client can never reconstruct it.
+type OrphanError struct{} // want "no encode arm in EncodeError and no decode arm"
+
+func (e *OrphanError) Error() string { return "orphan" }
+
+// HalfError is encoded but never decoded: the client downgrades it.
+type HalfError struct{} // want "no decode arm"
+
+func (e *HalfError) Error() string { return "half" }
+
+// LocalError is a deliberate client-side-only exception.
+//
+//lint:ignore fdqvet/errtaxonomy client-side only: never crosses the wire in this testdata scenario
+type LocalError struct{}
+
+func (e *LocalError) Error() string { return "local" }
+
+// DecodeOnlyError has a decode arm but no encode arm: the client can
+// fabricate it but the server can never send it.
+type DecodeOnlyError struct{} // want "no encode arm"
+
+func (e *DecodeOnlyError) Error() string { return "decode-only" }
+
+// SchemaError carries the suffix but is not an error type (no Error
+// method): outside the taxonomy, nothing to round-trip.
+type SchemaError struct{ Column string }
+
+type ErrorFrame struct {
+	Code  string
+	Bound float64
+	Limit int
+}
+
+func normalize(err error) error { return err }
+
+func EncodeError(err error) ErrorFrame {
+	err = normalize(err)
+	var be *BoundError
+	if errors.As(err, &be) {
+		return ErrorFrame{Code: "bound", Bound: be.Bound}
+	}
+	var re *RowsError
+	if errors.As(err, &re) {
+		return ErrorFrame{Code: "rows", Limit: re.Limit}
+	}
+	var he *HalfError
+	if errors.As(err, &he) {
+		return ErrorFrame{Code: "half"}
+	}
+	return ErrorFrame{Code: "internal"}
+}
+
+func (f *ErrorFrame) Err() error {
+	code := f.Code
+	p := &code
+	switch *p {
+	case "bound":
+		return &BoundError{Bound: f.Bound}
+	case "rows":
+		return &RowsError{Limit: f.Limit}
+	case "decode-only":
+		return &DecodeOnlyError{}
+	}
+	return errors.New(f.Code)
+}
+
+// box is not the envelope: its Err method hangs off a generic receiver,
+// which the structural detection correctly fails to name.
+type box[T any] struct{ v T }
+
+func (b *box[T]) Err() error { return nil }
+
+// --- %w identity discipline -------------------------------------------
+
+func flatten(err error) error {
+	return fmt.Errorf("run failed: %v", err) // want "without %w"
+}
+
+// decodeFailure reconstructs the PR 9 retry-ordering bug shape the rule
+// was seeded by: a decode failure formatted with %v strips the transport
+// error's type, so the retry classifier downstream sees an opaque
+// permanent error instead of a retryable one.
+func decodeFailure(op string, err error) error {
+	return fmt.Errorf("decode during %s: %v", op, err) // want "without %w"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("run failed: %w", err)
+}
+
+// typePrint reports the dynamic type; %T never pretended to carry the
+// error, so nothing is lost.
+func typePrint(err error) error {
+	return fmt.Errorf("unexpected error type %T", err)
+}
+
+// contextual wraps the failing error; the sentinel it is compared against
+// is context, not identity, and must NOT be wrapped (that would forge an
+// errors.Is match).
+func contextual(err, sentinel error) error {
+	return fmt.Errorf("%w does not match %v", err, sentinel)
+}
+
+// literalPercent: %% consumes no argument, and the one real verb wraps.
+func literalPercent(err error) error {
+	return fmt.Errorf("100%% failure rate: %w", err)
+}
+
+// flagged verbs (%+v) still map one verb to one argument.
+func flaggedVerb(state any, err error) error {
+	return fmt.Errorf("state %+v: %w", state, err)
+}
+
+// starWidth: *-widths break the simple verb/argument mapping, so the
+// analyzer leaves the call to vet's printf machinery.
+func starWidth(width, n int, err error) error {
+	return fmt.Errorf("pad %*d: %v", width, n, err)
+}
+
+// nonLiteralFormat: the format is a named constant, not a literal, so the
+// analyzer cannot see the verbs and stays quiet.
+const failFmt = "op %s failed: %v"
+
+func nonLiteralFormat(op string, err error) error {
+	return fmt.Errorf(failFmt, op, err)
+}

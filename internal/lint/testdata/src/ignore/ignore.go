@@ -1,0 +1,43 @@
+// Package ignore exercises the //lint:ignore suppression mechanism
+// itself, using sinkcheck findings as the suppression target. Malformed
+// directives (no reason) are covered by the unit tests in package lint —
+// their finding lands on the directive's own line, where a want comment
+// cannot coexist with the directive.
+package ignore
+
+type Tuple []int64
+
+type Sink interface {
+	Push(t Tuple) bool
+}
+
+// A trailing directive suppresses the finding on its own line.
+func suppressedTrailing(s Sink, t Tuple) {
+	s.Push(t) //lint:ignore fdqvet/sinkcheck deliberate drop: exercising trailing suppression
+}
+
+// A standalone directive suppresses the next code line.
+func suppressedStandalone(s Sink, t Tuple) {
+	//lint:ignore fdqvet/sinkcheck deliberate drop: exercising standalone suppression
+	s.Push(t)
+}
+
+// Stacked directives all reach the shared code line below them.
+func suppressedStacked(s Sink, t Tuple) {
+	//lint:ignore fdqvet/sinkcheck deliberate drop: exercising stacked suppression
+	//lint:ignore fdqvet/ctxloop stacked second directive, different analyzer
+	s.Push(t)
+}
+
+// Suppressing a different analyzer leaves the finding in place.
+func wrongAnalyzer(s Sink, t Tuple) {
+	//lint:ignore fdqvet/ctxloop suppressing the wrong analyzer must not hide sinkcheck
+	s.Push(t) // want "result of Push ignored"
+}
+
+// A directive only covers its own line: the finding two lines down stays.
+func outOfRange(s Sink, t Tuple) {
+	//lint:ignore fdqvet/sinkcheck covers only the next line
+	_ = t
+	s.Push(t) // want "result of Push ignored"
+}

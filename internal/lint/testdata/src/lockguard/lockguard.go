@@ -1,0 +1,100 @@
+// Package lockguard exercises fdqvet/lockguard: a field annotated
+// "// guarded by <mu>" may only be accessed in functions that lock the
+// named sibling mutex on the same base, or from *Locked functions.
+package lockguard
+
+import "sync"
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int // guarded by mu
+	hits    int            // unguarded: freely accessible
+}
+
+// --- clean ------------------------------------------------------------
+
+func (c *cache) get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.entries[k]
+	return v, ok
+}
+
+// evictLocked follows the caller-holds-the-lock naming convention.
+func (c *cache) evictLocked(k string) {
+	delete(c.entries, k)
+}
+
+func (c *cache) bump() { c.hits++ }
+
+// reset carries a documented bypass.
+func (c *cache) reset() {
+	//lint:ignore fdqvet/lockguard constructor-style reinit before the cache is shared with any other goroutine
+	c.entries = map[string]int{}
+}
+
+// --- flagged ----------------------------------------------------------
+
+func (c *cache) peek(k string) int {
+	return c.entries[k] // want "never locks"
+}
+
+// lruSession reconstructs the PR 6 eviction-poison bug the analyzer was
+// seeded by: the panic-recovery path evicted a poisoned entry from the
+// session LRU without taking the session mutex, racing the regular
+// lookup path over the same map and order list.
+type lruSession struct {
+	mu      sync.Mutex
+	entries map[string]*entry // guarded by mu
+	order   []string          // guarded by mu
+}
+
+type entry struct{ poisoned bool }
+
+func (s *lruSession) add(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[k] = &entry{}
+	s.order = append(s.order, k)
+}
+
+func (s *lruSession) recoverEviction(k string) {
+	delete(s.entries, k) // want "s.entries, guarded by s.mu"
+}
+
+// --- malformed annotations are themselves reported --------------------
+
+type dangling struct {
+	data []int // guarded by lock // want "not a sibling field"
+}
+
+type wrongType struct {
+	lk   int
+	data []int // guarded by lk // want "not a sync.Mutex"
+}
+
+// --- more clean shapes -------------------------------------------------
+
+// shared guards its map with a *sync.Mutex shared across instances: the
+// annotation resolves through the pointer.
+type shared struct {
+	mu   *sync.Mutex
+	seen map[string]bool // guarded by mu
+}
+
+func (s *shared) mark(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[k] = true
+}
+
+// localLock locks a plain local mutex too: irrelevant to the guarded
+// field, but the lock-collection pass must step over it.
+func (s *shared) markTwice(k string) {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[k] = true
+}

@@ -1,0 +1,143 @@
+// Package sinkcheck exercises fdqvet/sinkcheck: every Push result must be
+// consulted and the stop signal propagated out of the producing loop. The
+// Sink type is declared locally — the analyzer matches the Push method
+// shape, not a concrete interface.
+package sinkcheck
+
+import "os"
+
+type Tuple []int64
+
+type Sink interface {
+	Push(t Tuple) bool
+}
+
+type countSink struct{ n int }
+
+func (c *countSink) Push(t Tuple) bool { c.n++; return true }
+
+// --- flagged: the result is dropped ---------------------------------
+
+func dropResult(s Sink, t Tuple) {
+	s.Push(t) // want "result of Push ignored"
+}
+
+func blankResult(s Sink, t Tuple) {
+	_ = s.Push(t) // want "discarded to _"
+}
+
+func goPush(s Sink, t Tuple) {
+	go s.Push(t) // want "ignored in go statement"
+}
+
+func deferPush(s Sink, t Tuple) {
+	defer s.Push(t) // want "ignored in defer statement"
+}
+
+// drainAll reconstructs the pre-streaming (PR 5) bug shape: a producer
+// that keeps pushing after the consumer — a LIMIT-k sink — said stop.
+func drainAll(s Sink, rows []Tuple) {
+	for _, t := range rows {
+		_ = s.Push(t) // want "discarded to _"
+	}
+}
+
+// --- flagged: consulted but the stop is not propagated ---------------
+
+func consultedNotPropagated(s Sink, rows []Tuple) {
+	for _, t := range rows {
+		if !s.Push(t) { // want "stopped Sink not propagated"
+			continue
+		}
+	}
+}
+
+func initFormNotPropagated(s Sink, rows []Tuple) {
+	n := 0
+	for _, t := range rows {
+		if ok := s.Push(t); !ok { // want "stopped Sink not propagated"
+			n++
+		}
+	}
+	_ = n
+}
+
+// --- clean: the contract is honored ----------------------------------
+
+func propagatedReturn(s Sink, rows []Tuple) bool {
+	for _, t := range rows {
+		if !s.Push(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func propagatedBreak(s Sink, rows []Tuple) {
+	for _, t := range rows {
+		if !s.Push(t) {
+			break
+		}
+	}
+}
+
+func boundToVariable(s Sink, t Tuple) bool {
+	ok := s.Push(t)
+	return ok
+}
+
+// suppressed: a deliberate, documented exception.
+func bestEffortMirror(s Sink, t Tuple) {
+	//lint:ignore fdqvet/sinkcheck best-effort tee: the primary sink's stop decides; this mirror may lag
+	s.Push(t)
+}
+
+// propagatedPanic, propagatedGoto, and propagatedExit stop the producing
+// loop through the other recognized exits: panic, goto, os.Exit.
+func propagatedPanic(s Sink, rows []Tuple) {
+	for _, t := range rows {
+		if !s.Push(t) {
+			panic("consumer stopped mid-protocol")
+		}
+	}
+}
+
+func propagatedGoto(s Sink, rows []Tuple) {
+	for _, t := range rows {
+		if !s.Push(t) {
+			goto done
+		}
+	}
+done:
+	return
+}
+
+func propagatedExit(s Sink, rows []Tuple) {
+	for _, t := range rows {
+		if !s.Push(t) {
+			os.Exit(1)
+		}
+	}
+}
+
+// --- not Push-shaped: no Sink protocol, no findings -------------------
+
+// fnField has a Push that is a func-typed field, not a method: calling it
+// is not the Sink protocol.
+type fnField struct {
+	Push func(t Tuple) bool
+}
+
+func callsFieldPush(f fnField, t Tuple) {
+	f.Push(t)
+}
+
+// logger's Push returns nothing — the wrong shape, so dropping the
+// "result" is fine.
+type logger struct{ lines int }
+
+func (l *logger) Push(line string) { l.lines++ }
+
+func callsVoidPush(l *logger) {
+	l.Push("checkpoint")
+}

@@ -1,0 +1,59 @@
+// Package structalign exercises fdqvet/structalign: struct field orders
+// wasting at least 8 bytes per instance to padding are reported; tagged
+// (serialized) structs and annotated deliberate layouts are exempt.
+package structalign
+
+// padded interleaves bools and float64s: 32 bytes where 24 suffice.
+type padded struct { // want "wastes 8 bytes"
+	a bool
+	b float64
+	c bool
+	d float64
+}
+
+// packed is the same fields in optimal order: clean.
+type packed struct {
+	b float64
+	d float64
+	a bool
+	c bool
+}
+
+// small wastes only 4 bytes: below the reporting threshold.
+type small struct {
+	a bool
+	b int32
+	c bool
+}
+
+// tagged has struct tags: declaration order is its wire format, exempt.
+type tagged struct {
+	A bool    `json:"a"`
+	B float64 `json:"b"`
+	C bool    `json:"c"`
+	D float64 `json:"d"`
+}
+
+// deliberate keeps a documented layout.
+//
+//lint:ignore fdqvet/structalign hot/cold split: the bools sit next to the fields their branches touch
+type deliberate struct {
+	a bool
+	b float64
+	c bool
+	d float64
+}
+
+// tail pays gc's one-byte tax for a trailing zero-sized field: moving the
+// marker first reclaims a full alignment unit.
+type tail struct { // want "wastes 8 bytes"
+	x int64
+	z struct{}
+}
+
+// marker carries its zero-sized field away from the end: no tax, clean.
+type marker struct {
+	a int64
+	z struct{}
+	b int64
+}

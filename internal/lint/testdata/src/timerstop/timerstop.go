@@ -1,0 +1,142 @@
+// Package timerstop exercises fdqvet/timerstop: timers and context cancel
+// functions must be stopped/cancelled on some path — a result that is
+// discarded, blanked, or bound to a variable with no releasing use leaks.
+package timerstop
+
+import (
+	"context"
+	"time"
+)
+
+// --- flagged ----------------------------------------------------------
+
+func discarded() {
+	time.NewTimer(time.Second) // want "discarded"
+}
+
+func blankTimer() {
+	_ = time.NewTimer(time.Second) // want "assigned to _"
+}
+
+func neverStopped() {
+	t := time.NewTimer(time.Second) // want "never stopped"
+	<-t.C
+}
+
+func resetIsNotStop() {
+	t := time.NewTimer(time.Second) // want "never stopped"
+	t.Reset(time.Minute)
+}
+
+// newLeakyIterator reconstructs the PR 8 fdq.Rows leak in its lexical
+// form: the iterator derives a deadline context but drops the cancel, so
+// nothing can ever release the AfterFunc timer inside — it burns until
+// the deadline fires, long after the query finished.
+func newLeakyIterator(parent context.Context) *leakyIterator {
+	ctx, _ := context.WithTimeout(parent, time.Minute) // want "assigned to _"
+	return &leakyIterator{ctx: ctx}
+}
+
+type leakyIterator struct {
+	ctx context.Context
+}
+
+// --- clean ------------------------------------------------------------
+
+func deferred() {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func stoppedOnPath(fast bool) {
+	t := time.NewTimer(time.Second)
+	if fast {
+		t.Stop()
+		return
+	}
+	<-t.C
+	t.Stop()
+}
+
+func cancelled(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func escapesReturn() (*time.Timer, func()) {
+	t := time.NewTimer(time.Second)
+	return t, func() { t.Stop() }
+}
+
+// newFixedIterator is the shape of the PR 8 fix: the cancel escapes into
+// the iterator, whose Close owns the release.
+func newFixedIterator(parent context.Context) *fixedIterator {
+	ctx, cancel := context.WithTimeout(parent, time.Minute)
+	return &fixedIterator{ctx: ctx, cancel: cancel}
+}
+
+type fixedIterator struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+func (it *fixedIterator) Close() { it.cancel() }
+
+// handedToCallee passes the cancel to a helper that takes over.
+func handedToCallee(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	watch(ctx, cancel)
+}
+
+func watch(ctx context.Context, cancel context.CancelFunc) { cancel() }
+
+// calledDirectly reassigns into a pre-declared cancel variable (a plain =
+// assignment, not :=) and releases it with a direct call on the fallthrough
+// path — no defer involved.
+func calledDirectly(ctx context.Context) {
+	var cancel context.CancelFunc
+	ctx, cancel = context.WithCancel(ctx)
+	<-ctx.Done()
+	cancel()
+}
+
+// storedElsewhere hands the timer to other owners: a reassignment, a
+// composite literal, a channel send. Each escape transfers the stop
+// obligation to the receiving owner's discipline.
+type holder struct {
+	t *time.Timer
+}
+
+var parked *time.Timer
+
+func storedElsewhere(ch chan *time.Timer) {
+	a := time.NewTimer(time.Second)
+	parked = a
+
+	b := time.NewTimer(time.Second)
+	var h = holder{t: b}
+	_ = h
+
+	c := time.NewTimer(time.Second)
+	ch <- c
+}
+
+// addressTaken escapes the timer through a pointer declared with var (not
+// an assignment statement): whoever holds the pointer can stop it.
+func addressTaken(stop func(**time.Timer)) {
+	t := time.NewTimer(time.Second)
+	var p = &t
+	stop(p)
+}
+
+// unrelatedStatements walks the checker past statements that carry no
+// timer obligation at all: method calls on non-timer packages, plain
+// value assignments.
+func unrelatedStatements(err error) string {
+	msg := err.Error()
+	copied := msg
+	return copied
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Timerstop enforces timer and cancel-function lifetimes: the results of
+// time.AfterFunc / NewTimer / NewTicker and context.WithCancel /
+// WithTimeout / WithDeadline / AfterFunc must be stopped or cancelled on
+// some path — concretely, the variable holding the timer/stop/cancel must
+// have at least one releasing use in the enclosing function (a .Stop()
+// call, a call of the cancel func, a defer, or an escape: returned, stored
+// in a struct/map/slice, or passed to another function that takes over the
+// obligation). A result that is discarded outright, assigned to _, or
+// bound to a variable with no releasing use provably leaks.
+//
+// Seeded by the fdq.Rows deadline-timer leak fixed in PR 8: the iterator's
+// derived context (and the AfterFunc timer inside it) was only released by
+// GC because no path called cancel. The analyzer catches the lexical form
+// of that bug — a cancel/timer that cannot be stopped because nothing ever
+// references it for stopping; lifetimes that escape into struct fields are
+// handed to the owner type's own discipline (and its tests).
+var Timerstop = &Analyzer{
+	Name: "timerstop",
+	Doc:  "time.AfterFunc/NewTimer/NewTicker and context cancel functions must be stopped/cancelled on all paths",
+	Run:  runTimerstop,
+}
+
+// timerFuncs maps package path → function names whose results carry a
+// stop/cancel obligation, with the index of the result that carries it.
+var timerFuncs = map[string]map[string]int{
+	"time":    {"AfterFunc": 0, "NewTimer": 0, "NewTicker": 0},
+	"context": {"WithCancel": 1, "WithTimeout": 1, "WithDeadline": 1, "AfterFunc": 0},
+}
+
+func runTimerstop(pass *Pass) error {
+	eachFunc(pass.Files, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+		checkTimerFunc(pass, body)
+	})
+	return nil
+}
+
+// timerObligation returns (result index, label) if call creates a
+// stop/cancel obligation.
+func timerObligation(info *types.Info, call *ast.CallExpr) (int, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return 0, "", false
+	}
+	byName, ok := timerFuncs[obj.Pkg().Path()]
+	if !ok {
+		return 0, "", false
+	}
+	idx, ok := byName[obj.Name()]
+	if !ok {
+		return 0, "", false
+	}
+	return idx, obj.Pkg().Name() + "." + obj.Name(), true
+}
+
+func checkTimerFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Nested literals are visited by eachFunc in their own right;
+			// descending here would double-report their obligations.
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if _, label, ok := timerObligation(info, call); ok {
+					pass.Reportf(n.Pos(), "result of %s discarded: the timer/cancel is unreachable and can never be stopped", label)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			idx, label, ok := timerObligation(info, call)
+			if !ok || idx >= len(n.Lhs) {
+				return true
+			}
+			id, ok := n.Lhs[idx].(*ast.Ident)
+			if !ok {
+				return true // field/index destination: escapes to an owner
+			}
+			if id.Name == "_" {
+				pass.Reportf(n.Pos(), "%s result assigned to _: the timer/cancel can never be stopped (store it and defer, or stop it on every path)", label)
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id] // plain = assignment to an existing var
+			}
+			if obj == nil {
+				return true
+			}
+			if !hasReleasingUse(info, body, obj, n) {
+				pass.Reportf(n.Pos(), "%s result %s is never stopped: no Stop/cancel call, defer, return, or escape in this function", label, id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// hasReleasingUse reports whether obj has a use that stops the timer or
+// hands the obligation to someone else, anywhere in body other than the
+// creating assignment. Releasing uses: obj.Stop()/obj() calls (incl. via
+// defer), appearing in a defer or return statement, being passed as a call
+// argument, stored via assignment/composite literal/channel send, or
+// having its address taken. Reading obj.C / calling obj.Reset are not
+// releasing.
+func hasReleasingUse(info *types.Info, body *ast.BlockStmt, obj types.Object, origin ast.Stmt) bool {
+	released := false
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if released || n == origin {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// cancel() — the object being called.
+			if id, ok := n.Fun.(*ast.Ident); ok && info.Uses[id] == obj {
+				released = true
+				return false
+			}
+			// t.Stop() — a Stop method on the object.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				if id, ok := sel.X.(*ast.Ident); ok && info.Uses[id] == obj {
+					released = true
+					return false
+				}
+			}
+			// f(..., t, ...) — handing the obligation to a callee.
+			for _, arg := range n.Args {
+				if usesObj(info, arg, obj) {
+					released = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesObj(info, res, obj) {
+					released = true
+					return false
+				}
+			}
+		case *ast.DeferStmt:
+			if usesObj(info, n.Call, obj) {
+				released = true
+				return false
+			}
+		case *ast.AssignStmt:
+			// t2 := t, s.timer = t, m[k] = t: the value escapes to another
+			// owner; their discipline takes over.
+			for _, rhs := range n.Rhs {
+				if usesObj(info, rhs, obj) {
+					released = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if usesObj(info, elt, obj) {
+					released = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(info, n.Value, obj) {
+				released = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" && usesObj(info, n.X, obj) {
+				released = true
+				return false
+			}
+		}
+		return !released
+	}
+	ast.Inspect(body, inspect)
+	return released
+}
+
+// usesObj reports whether expr references obj directly (an identifier
+// resolving to it), without descending into selector .Sel fields that
+// would match member accesses like t.C.
+func usesObj(info *types.Info, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && (info.Uses[id] == obj || info.Defs[id] == obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -259,19 +259,21 @@ func identicalRows(a, b [][]fdq.Value) error {
 // same typed payload.
 func equivalentErrors(inErr, netErr, sentinel error) error {
 	if inErr == nil || netErr == nil {
+		//lint:ignore fdqvet/errtaxonomy one side is nil by construction; this is a terminal oracle diagnostic, nothing classifies it downstream
 		return fmt.Errorf("in-process err %v, network err %v (both must refuse)", inErr, netErr)
 	}
 	if !errors.Is(inErr, sentinel) {
-		return fmt.Errorf("in-process error %v does not match %v", inErr, sentinel)
+		return fmt.Errorf("in-process error %w does not match %v", inErr, sentinel)
 	}
 	if !errors.Is(netErr, sentinel) {
-		return fmt.Errorf("network error %v does not match %v", netErr, sentinel)
+		return fmt.Errorf("network error %w does not match %v", netErr, sentinel)
 	}
 	var inBE, netBE *fdq.BoundExceededError
 	if errors.As(inErr, &inBE) != errors.As(netErr, &netBE) {
 		return fmt.Errorf("typed shape mismatch: %T vs %T", inErr, netErr)
 	}
 	if inBE != nil && (inBE.LogBound != netBE.LogBound || inBE.Budget != netBE.Budget) {
+		//lint:ignore fdqvet/errtaxonomy oracle diagnostic dumps payload fields of both sides; there is no single cause to wrap
 		return fmt.Errorf("bound payload drifted: in-process %+v, network %+v", inBE, netBE)
 	}
 	var inRE, netRE *fdq.RowsExceededError
@@ -279,6 +281,7 @@ func equivalentErrors(inErr, netErr, sentinel error) error {
 		return fmt.Errorf("typed shape mismatch: %T vs %T", inErr, netErr)
 	}
 	if inRE != nil && inRE.Limit != netRE.Limit {
+		//lint:ignore fdqvet/errtaxonomy oracle diagnostic dumps payload fields of both sides; there is no single cause to wrap
 		return fmt.Errorf("rows payload drifted: in-process %+v, network %+v", inRE, netRE)
 	}
 	return nil

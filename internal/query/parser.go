@@ -64,7 +64,7 @@ func Parse(src string) (*Q, error) {
 			err = fmt.Errorf("unknown directive %q", key)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 	}
 	if q == nil {
@@ -218,7 +218,7 @@ func parseDegree(q *Q, s string) error {
 	}
 	d, err := strconv.Atoi(strings.TrimSpace(rest[maxIdx+3:]))
 	if err != nil {
-		return fmt.Errorf("bad max degree: %v", err)
+		return fmt.Errorf("bad max degree: %w", err)
 	}
 	q.AddDegreeBound(x, y, d, guard)
 	return nil
@@ -240,7 +240,7 @@ func parseRow(q *Q, fields []string) error {
 	for i, f := range fields[1:] {
 		v, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
-			return fmt.Errorf("bad value %q: %v", f, err)
+			return fmt.Errorf("bad value %q: %w", f, err)
 		}
 		t[i] = v
 	}

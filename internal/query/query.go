@@ -45,8 +45,8 @@ type Q struct {
 // artifact depends on, e.g. relation sizes).
 type qstate struct {
 	mu    sync.Mutex
-	lat   *lattice.Lattice
-	plans map[string]any
+	lat   *lattice.Lattice // guarded by mu
+	plans map[string]any   // guarded by mu
 }
 
 // New creates a query over the given variable names with an empty FD set.

@@ -49,7 +49,7 @@ type Relation struct {
 	n    int     // row count (tracked separately to support arity 0)
 
 	mu    sync.Mutex // guards cache; mutators bypass it (exclusive owner)
-	cache []*Index   // built indexes, keyed by resolved priority + nkey
+	cache []*Index   // guarded by mu; built indexes, keyed by resolved priority + nkey
 }
 
 // New creates an empty relation with the given attribute order.
@@ -83,6 +83,7 @@ func (r *Relation) Add(t ...Value) {
 	if len(t) != len(r.Attrs) {
 		panic(fmt.Sprintf("rel: arity mismatch adding to %s: got %d want %d", r.Name, len(t), len(r.Attrs)))
 	}
+	//lint:ignore fdqvet/lockguard mutators run under exclusive ownership (see mu doc): concurrent readers only exist after the relation is sealed
 	r.cache = nil
 	r.data = append(r.data, t...)
 	r.n++
@@ -94,6 +95,7 @@ func (r *Relation) AddTuple(t Tuple) {
 	if len(t) != len(r.Attrs) {
 		panic(fmt.Sprintf("rel: arity mismatch adding to %s", r.Name))
 	}
+	//lint:ignore fdqvet/lockguard mutators run under exclusive ownership (see mu doc): concurrent readers only exist after the relation is sealed
 	r.cache = nil
 	r.data = append(r.data, t...)
 	r.n++
@@ -227,6 +229,7 @@ func cmpRowsAt(data []Value, a, b, k int) int {
 // SortDedup sorts rows lexicographically in attribute order and removes
 // duplicates.
 func (r *Relation) SortDedup() {
+	//lint:ignore fdqvet/lockguard mutators run under exclusive ownership (see mu doc): concurrent readers only exist after the relation is sealed
 	r.cache = nil
 	k := len(r.Attrs)
 	if k == 0 {

@@ -59,6 +59,9 @@ func RunInto(ctx context.Context, q *query.Q, llp *bounds.LLPResult, proof *Proo
 	// Tables per slot.
 	tables := make([]*rel.Relation, proof.NumSlots)
 	for i, j := range proof.InitRel {
+		if err := ctx.Err(); err != nil {
+			return st, err // closure expansion is O(data) per slot
+		}
 		tables[i] = e.ExpandToClosure(q.Rels[j])
 	}
 
@@ -111,6 +114,9 @@ func RunInto(ctx context.Context, q *query.Q, llp *bounds.LLPResult, proof *Proo
 	elems := proof.slotElems()
 	var out *rel.Relation
 	for _, slot := range proof.LiveSlots() {
+		if err := ctx.Err(); err != nil {
+			return st, err // Union is O(rows) per live slot
+		}
 		if elems[slot] != l.Top || tables[slot] == nil {
 			continue
 		}
@@ -191,6 +197,7 @@ func RunAuto(q *query.Q) (*rel.Relation, *Stats, error) {
 func RunAutoInto(ctx context.Context, q *query.Q, sink rel.Sink) (*Stats, error) {
 	var key strings.Builder
 	key.WriteString("sma:proof")
+	//lint:ignore fdqvet/ctxloop bounded key-building loop: one O(1) Fprintf per input relation, no data-proportional work
 	for _, r := range q.Rels {
 		fmt.Fprintf(&key, ":%d", r.Len())
 	}

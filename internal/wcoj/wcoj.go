@@ -147,6 +147,9 @@ func genericJoinObserved(ctx context.Context, q *query.Q, order []int, sink rel.
 	rixs := make([]*relIx, len(q.Rels))
 	prioBuf := make([]int, 0, q.K)
 	for j, r := range q.Rels {
+		if err := ctx.Err(); err != nil {
+			return st, err // trie construction is O(data) per relation
+		}
 		prio := prioBuf[:0]
 		for _, v := range order {
 			if r.Col(v) >= 0 {
